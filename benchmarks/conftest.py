@@ -1,0 +1,41 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every file in this directory regenerates one table or figure from the
+paper's evaluation (section 6) and prints a paper-vs-measured table.
+Run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Absolute numbers come from the calibrated testbed model (see
+DESIGN.md); the claims under test are about curve *shape* — plateaus,
+linear regions, saturation points, crossovers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a table through pytest's capture (always visible)."""
+
+    def _show(title: str, rows: List[Dict[str, object]], columns: Sequence[str]):
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            header = " | ".join(f"{c:>18}" for c in columns)
+            print(header)
+            print("-" * len(header))
+            for row in rows:
+                cells = []
+                for c in columns:
+                    value = row.get(c, "")
+                    if isinstance(value, float):
+                        cells.append(f"{value:>18.2f}")
+                    else:
+                        cells.append(f"{str(value):>18}")
+                print(" | ".join(cells))
+
+    return _show

@@ -1,0 +1,43 @@
+"""Figure 10 (middle): cross-partition transactions, Tango vs 2PL.
+
+Paper: "We introduce cross-partition transactions that read the local
+object but write to both the local as well as a remote object ...
+throughput degrades gracefully for both Tango and 2PL as we double the
+percentage of cross-partition transactions. ... Our aim is to show that
+Tango has scaling characteristics similar to a conventional distributed
+protocol while suffering from none of the fault-tolerance problems
+endemic to such protocols."
+"""
+
+from repro.bench.experiments import fig10_cross_partition
+
+PCTS = (0, 1, 2, 4, 8, 16, 32, 64, 100)
+
+
+def test_fig10_middle_tango_vs_2pl(benchmark, show):
+    rows = benchmark.pedantic(
+        fig10_cross_partition,
+        kwargs={"cross_pcts": PCTS, "duration": 0.04, "warmup": 0.01},
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figure 10 middle: cross-partition transactions "
+        "(paper: graceful degradation, Tango comparable to 2PL)",
+        rows,
+        columns=("cross_pct", "tango_ktx", "twopl_ktx"),
+    )
+    by = {r["cross_pct"]: r for r in rows}
+    # Both start from a comparable base (~200K in the paper's setup).
+    assert by[0]["tango_ktx"] > 120
+    assert 0.5 < by[0]["tango_ktx"] / by[0]["twopl_ktx"] < 2.0
+    # Graceful degradation: monotone-ish decline, no collapse.
+    for proto in ("tango_ktx", "twopl_ktx"):
+        assert by[100][proto] < by[0][proto]
+        assert by[100][proto] > 0.3 * by[0][proto]
+        # Doubling from 1% to 2% costs little (the "graceful" part).
+        assert by[2][proto] > 0.9 * by[1][proto]
+    # The two protocols stay within ~2x of each other everywhere.
+    for pct in PCTS:
+        ratio = by[pct]["tango_ktx"] / by[pct]["twopl_ktx"]
+        assert 0.4 < ratio < 2.5

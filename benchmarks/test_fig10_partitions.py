@@ -1,0 +1,38 @@
+"""Figure 10 (left): layered partitions scale until the log saturates.
+
+Paper: "each node hosts the view for a different TangoMap and performs
+single-object transactions ... throughput scales linearly with the
+number of nodes until it saturates the shared log on the 6-server
+deployment at around 150K txes/sec. With an 18-server shared log,
+throughput scales to 200K txes/sec and we do not encounter the
+throughput ceiling imposed by the shared log."
+"""
+
+from repro.bench.experiments import fig10_partitions
+
+NODES = (2, 4, 6, 8, 10, 12, 14, 16, 18)
+
+
+def test_fig10_left_partition_scaling(benchmark, show):
+    rows = benchmark.pedantic(
+        fig10_partitions,
+        kwargs={"node_counts": NODES, "duration": 0.04, "warmup": 0.01},
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figure 10 left: layered partitioning "
+        "(paper: 6-server saturates ~150K tx/s; 18-server reaches ~200K)",
+        rows,
+        columns=("log", "nodes", "ktx_per_sec", "latency_ms"),
+    )
+    by = {(r["log"], r["nodes"]): r["ktx_per_sec"] for r in rows}
+    # Linear region: doubling nodes doubles throughput (both logs).
+    for log in ("18-server", "6-server"):
+        assert by[(log, 8)] > 1.8 * by[(log, 4)]
+    # The 6-server log hits its ceiling near 150K...
+    assert 135 <= by[("6-server", 18)] <= 165
+    assert by[("6-server", 18)] < 1.1 * by[("6-server", 16)]
+    # ...while the 18-server log is still scaling at 18 nodes.
+    assert by[("18-server", 18)] > by[("6-server", 18)]
+    assert by[("18-server", 18)] > 1.15 * by[("18-server", 14)]

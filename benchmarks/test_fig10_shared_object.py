@@ -1,0 +1,39 @@
+"""Figure 10 (right): transactions on an object shared by all nodes.
+
+Paper: "each node in a 4-node setup hosts a view of a different TangoMap
+as in the previous experiment, but also hosts a view for a common
+TangoMap shared across all the nodes ... For some percentage of
+transactions, the node reads and writes both its own object as well as
+the shared object; we double this percentage on the x-axis, and
+throughput falls sharply going from 0% to 1%, after which it degrades
+gracefully."
+"""
+
+from repro.bench.experiments import fig10_shared_object
+
+PCTS = (0, 1, 2, 4, 8, 16, 32, 64, 100)
+
+
+def test_fig10_right_shared_object(benchmark, show):
+    rows = benchmark.pedantic(
+        fig10_shared_object,
+        kwargs={"shared_pcts": PCTS, "duration": 0.04, "warmup": 0.01},
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figure 10 right: shared-object transactions "
+        "(paper: sharp fall 0->1%, then graceful degradation)",
+        rows,
+        columns=("shared_pct", "ktx_per_sec", "latency_ms"),
+    )
+    by = {r["shared_pct"]: r["ktx_per_sec"] for r in rows}
+    # The knee: introducing shared transactions costs throughput
+    # immediately (decision-record stalls on every consumer)...
+    assert by[1] < by[0]
+    assert by[2] < 0.9 * by[0]
+    # ...then the tail degrades gradually and monotonically.
+    assert by[100] < by[32] < by[8]
+    # Latency balloons as the stall pipeline deepens.
+    lat = {r["shared_pct"]: r["latency_ms"] for r in rows}
+    assert lat[100] > 4 * lat[0]

@@ -1,0 +1,31 @@
+"""Figure 2: sequencer throughput vs number of clients.
+
+Paper: "as we add clients to the system, sequencer throughput increases
+until it plateaus at around 570K requests/sec."
+"""
+
+from repro.bench.experiments import fig2_sequencer
+
+CLIENTS = (1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40)
+
+
+def test_fig2_sequencer_throughput(benchmark, show):
+    rows = benchmark.pedantic(
+        fig2_sequencer,
+        kwargs={"client_counts": CLIENTS, "duration": 0.03, "warmup": 0.01},
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figure 2: sequencer throughput (paper plateau ~570K req/s)",
+        rows,
+        columns=("clients", "kreq_per_sec", "paper_plateau_kreq"),
+    )
+    # Shape assertions: monotone rise to a plateau near 570K.
+    plateau = rows[-1]["kreq_per_sec"]
+    assert 0.9 * 570 <= plateau <= 1.1 * 570
+    small = rows[0]["kreq_per_sec"]
+    assert small < plateau / 4
+    # Saturation: the last three points are within a few percent.
+    tail = [r["kreq_per_sec"] for r in rows[-3:]]
+    assert max(tail) - min(tail) < 0.05 * plateau

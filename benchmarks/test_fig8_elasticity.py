@@ -1,0 +1,41 @@
+"""Figure 8 (right): elastic linearizable reads vs number of readers.
+
+Paper: "we scale read throughput to a Tango object by adding more
+read-only views, each of which issues 10K reads/sec, while keeping the
+write workload constant at 10K writes/sec. Reads scale linearly until
+the underlying shared log is saturated; ... a smaller 2-server log which
+bottlenecks at around 120K reads/sec, as well as the default 18-server
+log which scales to 180K reads/sec with 18 clients. ... with the
+18-server log, we obtain 1 ms reads."
+"""
+
+from repro.bench.experiments import fig8_elasticity
+
+READERS = (2, 4, 6, 8, 10, 12, 14, 16, 18)
+
+
+def test_fig8_right_elastic_reads(benchmark, show):
+    rows = benchmark.pedantic(
+        fig8_elasticity,
+        kwargs={"reader_counts": READERS, "duration": 0.05, "warmup": 0.01},
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figure 8 right: read elasticity "
+        "(paper: 2-server saturates ~120K; 18-server scales to 180K @ ~1ms)",
+        rows,
+        columns=("log", "readers", "reads_kops", "read_latency_ms"),
+    )
+    by = {(r["log"], r["readers"]): r for r in rows}
+    # 18-server log: linear scaling all the way to 18 readers.
+    assert by[("18-server", 18)]["reads_kops"] >= 170
+    assert by[("18-server", 18)]["read_latency_ms"] < 2.0
+    # 2-server log: saturation near 120K.
+    small_peak = max(r["reads_kops"] for r in rows if r["log"] == "2-server")
+    assert 100 <= small_peak <= 135
+    assert by[("2-server", 18)]["reads_kops"] <= small_peak * 1.02
+    # The crossover: both logs identical before saturation.
+    assert by[("2-server", 6)]["reads_kops"] == (
+        __import__("pytest").approx(by[("18-server", 6)]["reads_kops"], rel=0.1)
+    )

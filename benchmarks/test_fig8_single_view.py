@@ -1,0 +1,49 @@
+"""Figure 8 (left): single-view latency vs throughput trade-off.
+
+Paper: "we can provide 135K sub-millisecond reads/sec on a read-only
+workload and 38K writes/sec under 2 ms on a write-only workload. Each
+line on this graph is obtained by doubling the window size of
+outstanding operations at the client from 8 ... to 256."
+"""
+
+from repro.bench.experiments import fig8_single_view
+
+RATIOS = (1.0, 0.9, 0.5, 0.1, 0.0)
+WINDOWS = (8, 16, 32, 64, 128, 256)
+
+
+def test_fig8_left_latency_throughput(benchmark, show):
+    rows = benchmark.pedantic(
+        fig8_single_view,
+        kwargs={
+            "write_ratios": RATIOS,
+            "windows": WINDOWS,
+            "duration": 0.05,
+            "warmup": 0.01,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figure 8 left: one view, latency vs throughput "
+        "(paper: 135K sub-ms reads; 38K writes under 2ms)",
+        rows,
+        columns=("write_ratio", "window", "kops_per_sec", "latency_ms"),
+    )
+    by = {(r["write_ratio"], r["window"]): r for r in rows}
+    # Write-only anchor: ~38K ops/s at full window.
+    assert 30 <= by[(1.0, 256)]["kops_per_sec"] <= 50
+    # Read-only: >=135K/s at sub-millisecond latency for some window.
+    assert any(
+        by[(0.0, w)]["kops_per_sec"] >= 120 and by[(0.0, w)]["latency_ms"] < 1.0
+        for w in WINDOWS
+    )
+    # Reads are strictly faster than writes at equal window.
+    for window in WINDOWS:
+        assert (
+            by[(0.0, window)]["kops_per_sec"]
+            >= by[(1.0, window)]["kops_per_sec"]
+        )
+    # Larger windows trade latency for throughput.
+    assert by[(1.0, 256)]["latency_ms"] > by[(1.0, 8)]["latency_ms"]
+    assert by[(1.0, 256)]["kops_per_sec"] > by[(1.0, 8)]["kops_per_sec"]

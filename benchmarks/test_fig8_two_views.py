@@ -1,0 +1,42 @@
+"""Figure 8 (middle): primary/backup with two views.
+
+Paper: "Overall throughput falls sharply as writes are introduced, and
+then stays constant at around 40K ops/sec as the workload mix changes;
+however, average read latency goes up as writes dominate, reflecting the
+extra work the read-only 'backup' node has to perform to catch up with
+the 'primary'."
+"""
+
+from repro.bench.experiments import fig8_two_views
+
+RATES = (0, 5e3, 10e3, 15e3, 20e3, 25e3, 30e3, 35e3, 40e3)
+
+
+def test_fig8_middle_primary_backup(benchmark, show):
+    rows = benchmark.pedantic(
+        fig8_two_views,
+        kwargs={"target_write_rates": RATES, "duration": 0.06, "warmup": 0.01},
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figure 8 middle: primary/backup "
+        "(paper: total ~40K once writes dominate; read latency climbs)",
+        rows,
+        columns=(
+            "target_writes_kops",
+            "reads_kops",
+            "writes_kops",
+            "read_latency_ms",
+        ),
+    )
+    by = {r["target_writes_kops"]: r for r in rows}
+    # Throughput falls sharply once writes appear...
+    assert by[5.0]["reads_kops"] < 0.7 * by[0.0]["reads_kops"]
+    # ...read latency rises with the write rate...
+    assert by[40.0]["read_latency_ms"] > 2 * by[0.0]["read_latency_ms"]
+    # ...and the write side reaches its target until saturation.
+    assert by[30.0]["writes_kops"] >= 28
+    # Combined throughput under write domination sits near 40K.
+    combined = by[40.0]["reads_kops"] + by[40.0]["writes_kops"]
+    assert 30 <= combined <= 60

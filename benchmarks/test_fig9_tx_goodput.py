@@ -1,0 +1,62 @@
+"""Figure 9: transactions on one fully replicated TangoMap.
+
+Paper: "Figure 9 shows transaction throughput and goodput (i.e.,
+committed transactions) on a single TangoMap object as we vary the
+degree of contention (by increasing the number of keys within the map)
+and increase the number of nodes hosting views of the object. ... For 3
+nodes, transaction goodput is low with tens or hundreds of keys but
+reaches 99% of throughput in the uniform case and 70% in the zipf case
+with 10K keys or higher. Transaction throughput hits a maximum with
+three nodes and stays constant as more nodes are added; this illustrates
+the playback bottleneck."
+"""
+
+from repro.bench.experiments import fig9_tx_goodput
+
+NODES = (2, 3, 4, 5, 6, 7, 8)
+KEYS = (10, 100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+def test_fig9_throughput_and_goodput(benchmark, show):
+    rows = benchmark.pedantic(
+        fig9_tx_goodput,
+        kwargs={
+            "node_counts": NODES,
+            "key_counts": KEYS,
+            "distributions": ("zipf", "uniform"),
+            "duration": 0.04,
+            "warmup": 0.01,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figure 9: fully replicated TangoMap "
+        "(paper: goodput 99% uniform / 70% zipf at 10K+ keys; "
+        "throughput capped by playback)",
+        rows,
+        columns=(
+            "distribution",
+            "keys",
+            "nodes",
+            "ktx_per_sec",
+            "goodput_ktx",
+            "goodput_pct",
+        ),
+    )
+    by = {(r["distribution"], r["keys"], r["nodes"]): r for r in rows}
+    # Playback bottleneck: 4x nodes buys nowhere near 4x throughput.
+    t2 = by[("uniform", 100_000, 2)]["ktx_per_sec"]
+    t8 = by[("uniform", 100_000, 8)]["ktx_per_sec"]
+    assert t8 < 2.5 * t2
+    # Contention: goodput rises with key count, for both distributions.
+    for dist in ("zipf", "uniform"):
+        low = by[(dist, 10, 3)]["goodput_pct"]
+        high = by[(dist, 1_000_000, 3)]["goodput_pct"]
+        assert high > low
+    # Uniform reaches near-total goodput at 10K keys; zipf stays lower.
+    assert by[("uniform", 10_000, 3)]["goodput_pct"] > 90
+    assert (
+        by[("zipf", 10_000, 3)]["goodput_pct"]
+        < by[("uniform", 10_000, 3)]["goodput_pct"]
+    )

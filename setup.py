@@ -1,0 +1,8 @@
+"""Thin setup.py shim; metadata lives in pyproject.toml.
+
+Kept so that offline environments without the `wheel` package can do
+legacy editable installs (`pip install -e . --no-use-pep517`).
+"""
+from setuptools import setup
+
+setup()

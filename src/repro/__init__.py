@@ -1,0 +1,67 @@
+"""Tango: distributed data structures over a shared log (SOSP 2013).
+
+A complete Python reproduction: the CORFU shared log substrate, the
+streaming layer, the Tango runtime (state machine replication and
+transactions over the log), a library of Tango objects (including
+ZooKeeper and BookKeeper clones), and a calibrated performance model
+regenerating every figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import CorfuCluster, TangoRuntime, TangoDirectory, TangoMap
+
+    cluster = CorfuCluster(num_sets=9, replication_factor=2)
+    runtime = TangoRuntime(cluster, name="client-0")
+    directory = TangoDirectory(runtime)
+    users = directory.open(TangoMap, "users")
+    users.put("alice", {"role": "admin"})
+    print(users.get("alice"))
+
+See ``examples/`` for multi-client scenarios, transactions across
+objects, and the mini HDFS namenode.
+"""
+
+from repro.corfu import CorfuClient, CorfuCluster, Projection, ReplicaSet
+from repro.errors import ReproError, TangoError, TransactionAborted
+from repro.objects import (
+    Ledger,
+    TangoBK,
+    TangoCounter,
+    TangoIndexedMap,
+    TangoList,
+    TangoMap,
+    TangoQueue,
+    TangoRegister,
+    TangoTreeSet,
+    TangoZK,
+)
+from repro.streams import StreamClient
+from repro.tango import TangoObject, TangoRuntime
+from repro.tango.directory import TangoDirectory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorfuCluster",
+    "CorfuClient",
+    "Projection",
+    "ReplicaSet",
+    "StreamClient",
+    "TangoRuntime",
+    "TangoObject",
+    "TangoDirectory",
+    "TangoRegister",
+    "TangoCounter",
+    "TangoMap",
+    "TangoIndexedMap",
+    "TangoList",
+    "TangoTreeSet",
+    "TangoQueue",
+    "TangoZK",
+    "TangoBK",
+    "Ledger",
+    "ReproError",
+    "TangoError",
+    "TransactionAborted",
+    "__version__",
+]

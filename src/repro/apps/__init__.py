@@ -1,0 +1,7 @@
+"""Applications built on the Tango object library."""
+
+from repro.apps.dedup import DedupStore
+from repro.apps.hdfs import MiniNameNode
+from repro.apps.scheduler import JobScheduler
+
+__all__ = ["MiniNameNode", "DedupStore", "JobScheduler"]

@@ -1,0 +1,139 @@
+"""The paper's running example as a library: a replicated job scheduler.
+
+Section 4: "a job scheduling service that runs on multiple application
+servers for high availability can be constructed using a TangoMap
+(mapping jobs to compute nodes), a TangoList (storing free compute
+nodes) and a TangoCounter (for new job IDs)."
+
+Any number of :class:`JobScheduler` replicas run against the same shared
+log; scheduling moves a node from the free list into the allocation map
+atomically (the introduction's canonical metadata transaction), so no
+job is ever double-assigned and no node double-allocated, no matter how
+replicas interleave. Other services — the section-4 backup service, a
+monitoring dashboard — share individual objects (Figure 5(c)) without
+hosting the whole scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.objects.counter import TangoCounter
+from repro.objects.list import TangoList
+from repro.objects.map import TangoMap
+from repro.tango.directory import TangoDirectory
+from repro.tango.runtime import TangoRuntime
+
+
+class JobScheduler:
+    """One replica of the scheduling service."""
+
+    def __init__(
+        self,
+        runtime: TangoRuntime,
+        directory: TangoDirectory,
+        namespace: str = "scheduler",
+    ) -> None:
+        self._runtime = runtime
+        self.assignments = directory.open(TangoMap, f"{namespace}/assignments")
+        self.free_nodes = directory.open(TangoList, f"{namespace}/free-nodes")
+        self.job_ids = directory.open(TangoCounter, f"{namespace}/job-ids")
+
+    # ------------------------------------------------------------------
+    # node pool management
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        """Register a compute node as available."""
+        self.free_nodes.append(node)
+
+    def remove_node(self, node: str) -> bool:
+        """Drain a free node from the pool; False if it is not free."""
+
+        def body() -> bool:
+            if not self.free_nodes.contains(node):
+                return False
+            self.free_nodes.remove_value(node)
+            return True
+
+        return self._runtime.run_transaction(body)
+
+    def free_count(self) -> int:
+        return self.free_nodes.size()
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, command: str) -> Optional[Tuple[int, str]]:
+        """Atomically allocate a free node to a new job.
+
+        Returns (job id, node) or None when the pool is empty. Racing
+        replicas conflict on the free list and the job counter; exactly
+        one wins each allocation.
+        """
+
+        def body() -> Optional[Tuple[int, str]]:
+            nodes = self.free_nodes.to_list()
+            if not nodes:
+                return None
+            node = nodes[0]
+            job_id = self.job_ids.value()
+            self.job_ids.set(job_id + 1)
+            self.free_nodes.remove_value(node)
+            self.assignments.put(
+                str(job_id), {"node": node, "cmd": command, "state": "running"}
+            )
+            return job_id, node
+
+        return self._runtime.run_transaction(body)
+
+    def complete(self, job_id: int) -> str:
+        """Finish a job: free its node atomically; returns the node."""
+
+        def body() -> str:
+            job = self.assignments.get(str(job_id))
+            if job is None:
+                raise KeyError(f"unknown job {job_id}")
+            self.assignments.remove(str(job_id))
+            self.free_nodes.append(job["node"])
+            return job["node"]
+
+        return self._runtime.run_transaction(body)
+
+    def reschedule(self, job_id: int) -> Optional[Tuple[int, str]]:
+        """Move a job to a different free node (e.g. node went bad).
+
+        The whole move — release nothing, claim a new node, rewrite the
+        assignment — is one transaction; the job is never unassigned in
+        any observable state.
+        """
+
+        def body() -> Optional[Tuple[int, str]]:
+            job = self.assignments.get(str(job_id))
+            if job is None:
+                raise KeyError(f"unknown job {job_id}")
+            nodes = [n for n in self.free_nodes.to_list() if n != job["node"]]
+            if not nodes:
+                return None
+            new_node = nodes[0]
+            self.free_nodes.remove_value(new_node)
+            self.free_nodes.append(job["node"])
+            self.assignments.put(str(job_id), {**job, "node": new_node})
+            return job_id, new_node
+
+        return self._runtime.run_transaction(body)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def job(self, job_id: int) -> Optional[dict]:
+        return self.assignments.get(str(job_id))
+
+    def running_jobs(self) -> Dict[int, dict]:
+        return {int(job_id): job for job_id, job in self.assignments.items()}
+
+    def node_of(self, job_id: int) -> Optional[str]:
+        job = self.assignments.get(str(job_id))
+        return job["node"] if job else None

@@ -1,0 +1,10 @@
+"""Baselines the paper compares Tango against."""
+
+from repro.baselines.two_phase_locking import (
+    TimestampOracle,
+    TwoPLClient,
+    TwoPLNode,
+    TwoPLSystem,
+)
+
+__all__ = ["TimestampOracle", "TwoPLNode", "TwoPLClient", "TwoPLSystem"]

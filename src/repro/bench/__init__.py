@@ -1,0 +1,14 @@
+"""Benchmark harness: workloads, the testbed model, and experiments.
+
+- :mod:`repro.bench.perfmodel` — the calibrated model of the paper's
+  36-machine testbed (section 6), built on :mod:`repro.sim`.
+- :mod:`repro.bench.workloads` — YCSB-style key selection and
+  transaction shapes.
+- :mod:`repro.bench.experiments` — one function per paper figure,
+  returning rows of (parameters, measured, paper-reported) values.
+"""
+
+from repro.bench.perfmodel import ModelParams, ModeledCluster
+from repro.bench.workloads import KeyChooser, TxShape
+
+__all__ = ["ModelParams", "ModeledCluster", "KeyChooser", "TxShape"]

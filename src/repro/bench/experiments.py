@@ -1,0 +1,735 @@
+"""Model-driven experiments: one function per figure of section 6.
+
+Each function runs the calibrated testbed model
+(:class:`~repro.bench.perfmodel.ModeledCluster`) under the figure's
+workload and returns a list of row dicts containing both the measured
+series and, where the paper reports a concrete number, the paper's
+value (``paper_*`` keys). The benchmark files under ``benchmarks/``
+print these rows as paper-vs-measured tables and feed EXPERIMENTS.md.
+
+Claims being reproduced are about *shape*: plateaus, linear scaling
+regions, saturation points, crossovers, graceful-vs-sharp degradation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.bench.perfmodel import DEFAULT_PARAMS, ModelParams, ModeledCluster
+from repro.bench.workloads import KeyChooser, TxShape
+from repro.sim.engine import Counter, Simulator
+
+Row = Dict[str, object]
+
+
+def _closed_loop(sim, counter, warmup, op):
+    """One window slot: issue ops back-to-back, recording post-warmup."""
+
+    def proc():
+        while True:
+            t0 = sim.now
+            yield op()
+            if sim.now >= warmup:
+                counter.record(sim.now - t0)
+
+    return proc()
+
+
+def _open_loop(sim, rate, spawn_op):
+    """Fire ``spawn_op`` every 1/rate seconds."""
+
+    def proc():
+        period = 1.0 / rate
+        while True:
+            spawn_op()
+            yield period
+
+    return proc()
+
+
+class _PlaybackPipe:
+    """A client's playback pipeline: pipelined frontier fetches.
+
+    Entries to play queue up; up to ``window`` fetches are in flight at
+    once (propagation latency overlaps; only shared servers — the tail's
+    NIC, the client's NIC and CPU — constrain throughput). ``caught_up``
+    is the linearizability condition a read must wait for.
+    """
+
+    _POLL = 20e-6
+
+    def __init__(self, sim, cluster, client: int, window: int = 16) -> None:
+        self._sim = sim
+        self._cluster = cluster
+        self._client = client
+        self._window = window
+        self._queue: List[int] = []
+        self._inflight = 0
+        self.enqueued = 0
+        self.completed = 0
+
+    def enqueue(self, offset: int) -> None:
+        self._queue.append(offset)
+        self.enqueued += 1
+
+    def mark(self) -> int:
+        """The check marker: everything enqueued so far must be played
+        before a linearizable read at this instant may answer. Entries
+        arriving later do not gate it."""
+        return self.enqueued
+
+    def pump(self):
+        """The pipeline driver process (spawn once)."""
+        while True:
+            if not self._queue or self._inflight >= self._window:
+                yield self._POLL
+                continue
+            offset = self._queue.pop(0)
+            self._inflight += 1
+            self._sim.spawn(self._fetch(offset))
+
+    def _fetch(self, offset: int):
+        yield self._cluster.playback_fetch(self._client, offset)
+        self._inflight -= 1
+        self.completed += 1
+
+    def wait_mark(self, mark: int):
+        """Generator: poll until playback passes *mark*."""
+        while self.completed < mark:
+            yield self._POLL
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: sequencer throughput vs number of clients
+# ---------------------------------------------------------------------------
+
+
+def fig2_sequencer(
+    client_counts: Sequence[int] = (1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40),
+    window: int = 8,
+    duration: float = 0.05,
+    warmup: float = 0.01,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> List[Row]:
+    """Closed-loop clients hammering the sequencer, no batching.
+
+    Paper: "as we add clients to the system, sequencer throughput
+    increases until it plateaus at around 570K requests/sec."
+    """
+    rows: List[Row] = []
+    for n in client_counts:
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_clients=n, params=params)
+        counter = Counter()
+        for c in range(n):
+            for _ in range(window):
+                sim.spawn(
+                    _closed_loop(
+                        sim, counter, warmup,
+                        lambda c=c: cluster.sequencer_rpc(c),
+                    )
+                )
+        sim.run(until=warmup + duration)
+        rows.append(
+            {
+                "clients": n,
+                "kreq_per_sec": counter.throughput(duration) / 1e3,
+                "paper_plateau_kreq": 570.0,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 (left): single view latency vs throughput
+# ---------------------------------------------------------------------------
+
+
+def fig8_single_view(
+    write_ratios: Sequence[float] = (1.0, 0.9, 0.5, 0.1, 0.0),
+    windows: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    duration: float = 0.1,
+    warmup: float = 0.02,
+    params: ModelParams = DEFAULT_PARAMS,
+    seed: int = 1,
+) -> List[Row]:
+    """One TangoRegister view; the latency/throughput trade-off.
+
+    Paper anchors: "135K sub-millisecond reads/sec on a read-only
+    workload and 38K writes/sec under 2 ms on a write-only workload",
+    window doubling from 8 to 256.
+    """
+    rows: List[Row] = []
+    for ratio in write_ratios:
+        for window in windows:
+            sim = Simulator()
+            cluster = ModeledCluster(sim, num_clients=1, params=params)
+            counter = Counter()
+            rng = random.Random(seed)
+
+            def op(ratio=ratio, rng=rng, cluster=cluster):
+                if rng.random() < ratio:
+                    return cluster.append_op(0)
+                return cluster.linearizable_read(0)
+
+            for _ in range(window):
+                sim.spawn(_closed_loop(sim, counter, warmup, op))
+            sim.run(until=warmup + duration)
+            rows.append(
+                {
+                    "write_ratio": ratio,
+                    "window": window,
+                    "kops_per_sec": counter.throughput(duration) / 1e3,
+                    "latency_ms": counter.mean_latency() * 1e3,
+                    "p99_ms": counter.percentile_latency(99) * 1e3,
+                    "paper_read_only_kops": 135.0,
+                    "paper_write_only_kops": 38.0,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 (middle): primary/backup — reads on one view, writes on another
+# ---------------------------------------------------------------------------
+
+
+def fig8_two_views(
+    target_write_rates: Sequence[float] = (0, 5e3, 10e3, 15e3, 20e3, 25e3, 30e3, 35e3, 40e3),
+    read_window: int = 32,
+    duration: float = 0.1,
+    warmup: float = 0.02,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> List[Row]:
+    """Two views of one object: all writes to node 0, all reads to node 1.
+
+    Paper: "Overall throughput falls sharply as writes are introduced,
+    and then stays constant at around 40K ops/sec ...; however, average
+    read latency goes up as writes dominate, reflecting the extra work
+    the read-only 'backup' node has to perform to catch up with the
+    'primary'."
+    """
+    rows: List[Row] = []
+    for rate in target_write_rates:
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_clients=2, params=params)
+        reads = Counter()
+        writes = Counter()
+        pipe = _PlaybackPipe(sim, cluster, client=1)
+        op_count = [0]
+
+        def spawn_write():
+            def wproc():
+                t0 = sim.now
+                yield cluster.append_op(0)
+                if sim.now >= warmup:
+                    writes.record(sim.now - t0)
+                op_count[0] += 1
+                if op_count[0] % cluster.params.batch == 0:
+                    pipe.enqueue(cluster.next_offset())
+
+            sim.spawn(wproc())
+
+        def read_op():
+            def proc():
+                while True:
+                    t0 = sim.now
+                    yield cluster.linearizable_read(1)
+                    # Linearizability: the view must catch up with every
+                    # update below the check marker before answering.
+                    yield from pipe.wait_mark(pipe.mark())
+                    if sim.now >= warmup:
+                        reads.record(sim.now - t0)
+
+            return proc()
+
+        if rate > 0:
+            sim.spawn(_open_loop(sim, rate, spawn_write))
+        sim.spawn(pipe.pump())
+        for _ in range(read_window):
+            sim.spawn(read_op())
+        sim.run(until=warmup + duration)
+        rows.append(
+            {
+                "target_writes_kops": rate / 1e3,
+                "reads_kops": reads.throughput(duration) / 1e3,
+                "writes_kops": writes.throughput(duration) / 1e3,
+                "read_latency_ms": reads.mean_latency() * 1e3,
+                "read_p99_ms": reads.percentile_latency(99) * 1e3,
+                "paper_note": "combined ~40K ops/s once writes dominate; "
+                "read latency rises with write rate",
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 (right): elastic reads vs number of readers, two log sizes
+# ---------------------------------------------------------------------------
+
+
+def fig8_elasticity(
+    reader_counts: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16, 18),
+    per_reader_rate: float = 10e3,
+    write_rate_ops: float = 10e3,
+    duration: float = 0.1,
+    warmup: float = 0.02,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> List[Row]:
+    """N read-only views at 10K reads/s each against 10K writes/s.
+
+    Paper: "Reads scale linearly until the underlying shared log is
+    saturated ... a smaller 2-server log bottlenecks at around 120K
+    reads/sec, as well as the default 18-server log which scales to 180K
+    reads/sec with 18 clients."
+    """
+    rows: List[Row] = []
+    poll = 20e-6
+    for label, num_sets, repl in (("18-server", 9, 2), ("2-server", 1, 2)):
+        for n in reader_counts:
+            sim = Simulator()
+            cluster = ModeledCluster(
+                sim, num_sets=num_sets, replication=repl,
+                num_clients=n + 1, params=params,
+            )
+            reads = Counter()
+            writer = n  # last client id is the writer
+            pipes = [_PlaybackPipe(sim, cluster, c) for c in range(n)]
+            op_count = [0]
+
+            def spawn_write():
+                def wproc():
+                    yield cluster.append_op(writer)
+                    op_count[0] += 1
+                    if op_count[0] % cluster.params.batch == 0:
+                        offset = cluster.next_offset()
+                        for pipe in pipes:
+                            pipe.enqueue(offset)
+
+                sim.spawn(wproc())
+
+            sim.spawn(_open_loop(sim, write_rate_ops, spawn_write))
+
+            def spawn_read(c):
+                def rproc():
+                    t0 = sim.now
+                    yield cluster.linearizable_read(c)
+                    yield from pipes[c].wait_mark(pipes[c].mark())
+                    if sim.now >= warmup:
+                        reads.record(sim.now - t0)
+
+                sim.spawn(rproc())
+
+            for c in range(n):
+                sim.spawn(pipes[c].pump())
+                sim.spawn(
+                    _open_loop(sim, per_reader_rate, lambda c=c: spawn_read(c))
+                )
+            sim.run(until=warmup + duration)
+            rows.append(
+                {
+                    "log": label,
+                    "readers": n,
+                    "reads_kops": reads.throughput(duration) / 1e3,
+                    "read_latency_ms": reads.mean_latency() * 1e3,
+                    "read_p99_ms": reads.percentile_latency(99) * 1e3,
+                    "paper_ceiling_kops": 120.0 if label == "2-server" else 180.0,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: transactions on one fully replicated TangoMap
+# ---------------------------------------------------------------------------
+
+
+def fig9_tx_goodput(
+    node_counts: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    key_counts: Sequence[int] = (10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000),
+    distributions: Sequence[str] = ("zipf", "uniform"),
+    window: int = 8,
+    duration: float = 0.08,
+    warmup: float = 0.02,
+    params: ModelParams = DEFAULT_PARAMS,
+    seed: int = 7,
+) -> List[Row]:
+    """Full replication: every node hosts the map and plays every record.
+
+    Each transaction reads 3 keys and writes 3 other keys. Paper:
+    goodput is low under contention (tens/hundreds of keys) and reaches
+    99% (uniform) / 70% (zipf) at 10K+ keys; "transaction throughput
+    hits a maximum with three nodes and stays constant as more nodes are
+    added; this illustrates the playback bottleneck."
+    """
+    shape = TxShape()
+    rows: List[Row] = []
+    for dist in distributions:
+        for keys in key_counts:
+            for nodes in node_counts:
+                sim = Simulator()
+                cluster = ModeledCluster(
+                    sim, num_clients=nodes, params=params
+                )
+                commits = Counter()
+                attempts = Counter()
+                chooser = KeyChooser(keys, dist, seed=seed)
+                versions: Dict[int, int] = {}
+                clock = [0]
+
+                def tx(c, chooser=chooser, versions=versions, clock=clock,
+                       cluster=cluster, commits=commits, attempts=attempts):
+                    def proc():
+                        while True:
+                            t0 = sim.now
+                            read_keys, write_keys = shape.sample(chooser)
+                            read_versions = [
+                                versions.get(k, -1) for k in read_keys
+                            ]
+                            yield cluster.client_cpu[c].acquire(params.tx_cpu)
+                            yield cluster.append_op(c)
+                            # Full replication: every node plays this
+                            # commit record. The generator waits for its
+                            # own playback (EndTX plays to the commit
+                            # point); the others' costs load their
+                            # servers asynchronously.
+                            for other in range(cluster.num_clients):
+                                cost = cluster.playback_records(other, 1)
+                                if other == c:
+                                    yield cost
+                            clock[0] += 1
+                            ok = all(
+                                versions.get(k, -1) == v
+                                for k, v in zip(read_keys, read_versions)
+                            )
+                            if ok:
+                                for k in write_keys:
+                                    versions[k] = clock[0]
+                            if sim.now >= warmup:
+                                attempts.record(sim.now - t0)
+                                if ok:
+                                    commits.record(sim.now - t0)
+
+                    return proc()
+
+                for c in range(nodes):
+                    for _ in range(window):
+                        sim.spawn(tx(c))
+                sim.run(until=warmup + duration)
+                rows.append(
+                    {
+                        "distribution": dist,
+                        "keys": keys,
+                        "nodes": nodes,
+                        "ktx_per_sec": attempts.throughput(duration) / 1e3,
+                        "goodput_ktx": commits.throughput(duration) / 1e3,
+                        "goodput_pct": (
+                            100.0 * commits.completed / attempts.completed
+                            if attempts.completed
+                            else 0.0
+                        ),
+                        "paper_goodput_pct_10k_keys": 70.0 if dist == "zipf" else 99.0,
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 (left): layered partitions scale until the log saturates
+# ---------------------------------------------------------------------------
+
+
+def fig10_partitions(
+    node_counts: Sequence[int] = (2, 4, 6, 8, 10, 12, 14, 16, 18),
+    window: int = 16,
+    duration: float = 0.08,
+    warmup: float = 0.02,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> List[Row]:
+    """Each node hosts its own TangoMap and transacts only on it.
+
+    Paper: "throughput scales linearly with the number of nodes until it
+    saturates the shared log on the 6-server deployment at around 150K
+    txes/sec. With an 18-server shared log, throughput scales to 200K
+    txes/sec."
+    """
+    rows: List[Row] = []
+    for label, num_sets in (("18-server", 9), ("6-server", 3)):
+        for nodes in node_counts:
+            sim = Simulator()
+            cluster = ModeledCluster(
+                sim, num_sets=num_sets, replication=2,
+                num_clients=nodes, params=params,
+            )
+            commits = Counter()
+
+            def tx(c):
+                def proc():
+                    while True:
+                        t0 = sim.now
+                        yield cluster.client_cpu[c].acquire(params.tx_cpu)
+                        yield cluster.append_op(c)
+                        # Layered partitioning: only the owner plays it.
+                        yield cluster.playback_records(c, 1)
+                        if sim.now >= warmup:
+                            commits.record(sim.now - t0)
+
+                return proc()
+
+            for c in range(nodes):
+                for _ in range(window):
+                    sim.spawn(tx(c))
+            sim.run(until=warmup + duration)
+            rows.append(
+                {
+                    "log": label,
+                    "nodes": nodes,
+                    "ktx_per_sec": commits.throughput(duration) / 1e3,
+                    "latency_ms": commits.mean_latency() * 1e3,
+                    "paper_ceiling_ktx": 150.0 if label == "6-server" else 200.0,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 (middle): cross-partition transactions, Tango vs 2PL
+# ---------------------------------------------------------------------------
+
+
+def fig10_cross_partition(
+    cross_pcts: Sequence[float] = (0, 1, 2, 4, 8, 16, 32, 64, 100),
+    nodes: int = 18,
+    window: int = 16,
+    duration: float = 0.08,
+    warmup: float = 0.02,
+    params: ModelParams = DEFAULT_PARAMS,
+    seed: int = 11,
+) -> List[Row]:
+    """Transactions that write a remote partition with probability p.
+
+    A cross-partition Tango transaction multiappends its commit record
+    (still one log position), appends a decision record, and is played
+    by the remote partition's host as well. The 2PL baseline pays a
+    timestamp RPC plus remote lock/commit RPCs. Paper: "throughput
+    degrades gracefully for both Tango and 2PL as we double the
+    percentage of cross-partition transactions."
+    """
+    rows: List[Row] = []
+    for pct in cross_pcts:
+        p_cross = pct / 100.0
+        # ---- Tango ----
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_clients=nodes, params=params)
+        commits = Counter()
+        rng = random.Random(seed)
+
+        def tango_tx(c):
+            def proc():
+                while True:
+                    t0 = sim.now
+                    cross = rng.random() < p_cross
+                    yield cluster.client_cpu[c].acquire(params.tx_cpu)
+                    yield cluster.append_op(c)
+                    yield cluster.playback_records(c, 1)
+                    if cross:
+                        # Decision record: build + append (small share)
+                        # + the generator and the remote host play the
+                        # commit and decision records.
+                        yield cluster.client_cpu[c].acquire(params.decision_cpu)
+                        yield cluster.append_op(c, payload_share=0.25)
+                        yield cluster.playback_records(c, 1)
+                        remote = (c + 1 + rng.randrange(nodes - 1)) % nodes
+                        yield cluster.playback_records(remote, 2)
+                    if sim.now >= warmup:
+                        commits.record(sim.now - t0)
+
+            return proc()
+
+        for c in range(nodes):
+            for _ in range(window):
+                sim.spawn(tango_tx(c))
+        sim.run(until=warmup + duration)
+        tango_ktx = commits.throughput(duration) / 1e3
+
+        # ---- 2PL ----
+        sim2 = Simulator()
+        cluster2 = ModeledCluster(sim2, num_clients=nodes, params=params)
+        commits2 = Counter()
+        rng2 = random.Random(seed)
+        # Per-transaction CPU work at the generating client: execute the
+        # six operations, acquire/release six locks, validate versions,
+        # and install writes — comparable in total to Tango's commit
+        # path (the paper's point is that the *scaling shape* matches).
+        local_2pl_cpu = 100e-6
+
+        def twopl_tx(c):
+            def proc():
+                while True:
+                    t0 = sim2.now
+                    cross = rng2.random() < p_cross
+                    yield cluster2.client_cpu[c].acquire(local_2pl_cpu)
+                    # Timestamp oracle: same class of machine as the
+                    # sequencer.
+                    yield cluster2.sequencer_rpc(c)
+                    if cross:
+                        remote = (c + 1 + rng2.randrange(nodes - 1)) % nodes
+                        # lock RPC + commit RPC to the remote owner, each
+                        # costing CPU at both ends plus wire time.
+                        for _ in range(2):
+                            nic = cluster2.client_nic[c]
+                            rnic = cluster2.client_nic[remote]
+                            yield (
+                                nic.send(params.small_rpc_bytes)
+                                + rnic.rx.transfer(params.small_rpc_bytes)
+                            )
+                            yield cluster2.client_cpu[remote].acquire(
+                                params.decision_cpu
+                            )
+                            yield (
+                                rnic.tx.transfer(params.small_rpc_bytes)
+                                + nic.recv(params.small_rpc_bytes)
+                            )
+                    if sim2.now >= warmup:
+                        commits2.record(sim2.now - t0)
+
+            return proc()
+
+        for c in range(nodes):
+            for _ in range(window):
+                sim2.spawn(twopl_tx(c))
+        sim2.run(until=warmup + duration)
+        rows.append(
+            {
+                "cross_pct": pct,
+                "tango_ktx": tango_ktx,
+                "twopl_ktx": commits2.throughput(duration) / 1e3,
+                "paper_note": "both degrade gracefully from ~200K",
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 (right): transactions on an object shared by all nodes
+# ---------------------------------------------------------------------------
+
+
+def fig10_shared_object(
+    shared_pcts: Sequence[float] = (0, 1, 2, 4, 8, 16, 32, 64, 100),
+    nodes: int = 4,
+    window: int = 16,
+    duration: float = 0.08,
+    warmup: float = 0.02,
+    params: ModelParams = DEFAULT_PARAMS,
+    seed: int = 13,
+) -> List[Row]:
+    """Each node has its own map plus a view of one shared map.
+
+    A shared transaction's read set includes the generator's private
+    map, which the other nodes do not host — so they must wait for the
+    decision record, stalling their playback of the shared stream.
+    Paper: "throughput falls sharply going from 0% to 1%, after which it
+    degrades gracefully."
+    """
+    rows: List[Row] = []
+    poll = 20e-6
+    for pct in shared_pcts:
+        p_shared = pct / 100.0
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_clients=nodes, params=params)
+        commits = Counter()
+        rng = random.Random(seed)
+        # Per-node playback pipelines. Items are
+        # [ready_cell, records, done_cell]: ready_cell is None until the
+        # transaction's decision record exists (stalling the pipeline,
+        # exactly like the runtime's parked streams); done_cell lets a
+        # generator wait for its own commit to clear its pipeline.
+        queues: List[List[list]] = [[] for _ in range(nodes)]
+
+        def playback(node):
+            def proc():
+                while True:
+                    if not queues[node]:
+                        yield poll
+                        continue
+                    item = queues[node][0]
+                    if item[0] is None:
+                        # Parked: the decision record has not been
+                        # appended yet. The stream is blocked.
+                        yield poll
+                        continue
+                    queues[node].pop(0)
+                    if item[0] > sim.now:
+                        yield item[0] - sim.now
+                    yield cluster.playback_records(node, item[1])
+                    item[2][0] = True
+
+            return proc()
+
+        for node in range(nodes):
+            sim.spawn(playback(node))
+
+        def tx(c):
+            def proc():
+                while True:
+                    t0 = sim.now
+                    shared = rng.random() < p_shared
+                    yield cluster.client_cpu[c].acquire(params.tx_cpu)
+                    yield cluster.append_op(c)
+                    done = [False]
+                    if not shared:
+                        # Private transaction: only our own pipeline
+                        # plays the commit record — but it sits behind
+                        # any parked shared records (merged playback).
+                        queues[c].append([sim.now, 1, done])
+                    else:
+                        # Shared transaction: every node plays it. We
+                        # host the full read set so our copy is ready
+                        # immediately; the others must wait for the
+                        # decision record.
+                        remote_items = []
+                        for other in range(nodes):
+                            if other != c:
+                                item = [None, 2, [False]]
+                                queues[other].append(item)
+                                remote_items.append(item)
+                        queues[c].append([sim.now, 1, done])
+                        # EndTX: sync (one sequencer round-trip), play to
+                        # the commit point, decide, append the decision.
+                        yield cluster.sequencer_rpc(c)
+                        while not done[0]:
+                            yield poll
+                        yield cluster.client_cpu[c].acquire(
+                            params.decision_cpu
+                        )
+                        yield cluster.append_op(c, payload_share=0.25)
+                        decision_time = sim.now
+                        for item in remote_items:
+                            item[0] = decision_time
+                        if sim.now >= warmup:
+                            commits.record(sim.now - t0)
+                        continue
+                    # Private path: wait for our commit to clear the
+                    # pipeline (EndTX plays the log to the commit point).
+                    while not done[0]:
+                        yield poll
+                    if sim.now >= warmup:
+                        commits.record(sim.now - t0)
+
+            return proc()
+
+        for c in range(nodes):
+            for _ in range(window):
+                sim.spawn(tx(c))
+        sim.run(until=warmup + duration)
+        rows.append(
+            {
+                "shared_pct": pct,
+                "ktx_per_sec": commits.throughput(duration) / 1e3,
+                "latency_ms": commits.mean_latency() * 1e3,
+                "paper_note": "sharp fall 0->1%, then graceful",
+            }
+        )
+    return rows

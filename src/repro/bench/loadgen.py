@@ -1,0 +1,161 @@
+"""Load generation for the functional layer.
+
+The model-driven experiments regenerate the paper's figures; this module
+measures the *real Python implementation* under sustained mixed load —
+the numbers a downstream user of this library would actually see, and
+the regression guard for the implementation's own performance.
+
+A :class:`LoadGenerator` drives N runtimes over one shared log with a
+configurable operation mix and reports per-operation throughput and
+latency percentiles.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.workloads import KeyChooser
+from repro.corfu.cluster import CorfuCluster
+from repro.objects.map import TangoMap
+from repro.tango.runtime import TangoRuntime
+
+
+@dataclass(frozen=True)
+class LoadMix:
+    """Operation mix, as weights (need not sum to 1)."""
+
+    reads: float = 0.5
+    writes: float = 0.3
+    transactions: float = 0.2
+    #: reads+writes per transaction (the paper's 3+3 by default).
+    tx_reads: int = 3
+    tx_writes: int = 3
+
+
+@dataclass
+class LoadReport:
+    """Results of one load run."""
+
+    duration_s: float = 0.0
+    ops: Dict[str, int] = field(default_factory=dict)
+    commits: int = 0
+    aborts: int = 0
+    latencies_ms: Dict[str, List[float]] = field(default_factory=dict)
+
+    def throughput(self, op: Optional[str] = None) -> float:
+        total = self.ops.get(op, 0) if op else sum(self.ops.values())
+        if self.duration_s <= 0:
+            return 0.0
+        return total / self.duration_s
+
+    def percentile_ms(self, op: str, pct: float) -> float:
+        samples = sorted(self.latencies_ms.get(op, ()))
+        if not samples:
+            return 0.0
+        index = min(len(samples) - 1, int(len(samples) * pct / 100.0))
+        return samples[index]
+
+    def abort_rate(self) -> float:
+        attempts = self.commits + self.aborts
+        return self.aborts / attempts if attempts else 0.0
+
+    def rows(self) -> List[dict]:
+        """Paper-vs-measured style rows for the bench tables."""
+        out = []
+        for op in sorted(self.ops):
+            out.append(
+                {
+                    "op": op,
+                    "ops_per_sec": round(self.throughput(op), 1),
+                    "p50_ms": round(self.percentile_ms(op, 50), 3),
+                    "p99_ms": round(self.percentile_ms(op, 99), 3),
+                }
+            )
+        out.append(
+            {
+                "op": "TOTAL",
+                "ops_per_sec": round(self.throughput(), 1),
+                "p50_ms": "",
+                "p99_ms": f"abort_rate={self.abort_rate():.3f}",
+            }
+        )
+        return out
+
+
+class LoadGenerator:
+    """Drives a mixed workload against one shared map.
+
+    Clients are round-robined per operation (single OS thread — the
+    point is implementation cost, not parallel speedup; see
+    ``tests/test_threading.py`` for true concurrency).
+    """
+
+    def __init__(
+        self,
+        num_clients: int = 4,
+        num_keys: int = 1000,
+        distribution: str = "uniform",
+        mix: LoadMix = LoadMix(),
+        seed: int = 42,
+        cluster: Optional[CorfuCluster] = None,
+    ) -> None:
+        self.cluster = cluster or CorfuCluster(num_sets=9, replication_factor=2)
+        self.runtimes = [
+            TangoRuntime(self.cluster, client_id=i + 1, name=f"load-{i}")
+            for i in range(num_clients)
+        ]
+        self.maps = [TangoMap(rt, oid=1) for rt in self.runtimes]
+        self.mix = mix
+        self._chooser = KeyChooser(num_keys, distribution, seed=seed)
+        self._rng = random.Random(seed)
+        # Warm every view so transactional reads see current state.
+        self.maps[0].put("__warm__", 1)
+        for m in self.maps:
+            m.get("__warm__")
+
+    def _pick_op(self) -> str:
+        total = self.mix.reads + self.mix.writes + self.mix.transactions
+        roll = self._rng.random() * total
+        if roll < self.mix.reads:
+            return "read"
+        if roll < self.mix.reads + self.mix.writes:
+            return "write"
+        return "tx"
+
+    def run(self, operations: int) -> LoadReport:
+        """Execute *operations* mixed ops; returns the report."""
+        report = LoadReport()
+        started = time.perf_counter()
+        for i in range(operations):
+            client = i % len(self.runtimes)
+            rt, m = self.runtimes[client], self.maps[client]
+            op = self._pick_op()
+            t0 = time.perf_counter()
+            if op == "read":
+                m.get(f"k{self._chooser.choose()}")
+            elif op == "write":
+                m.put(f"k{self._chooser.choose()}", i)
+            else:
+                reads = [self._chooser.choose() for _ in range(self.mix.tx_reads)]
+                writes = [self._chooser.choose() for _ in range(self.mix.tx_writes)]
+
+                def body(m=m, reads=reads, writes=writes, i=i):
+                    for key in reads:
+                        m.get(f"k{key}")
+                    for key in writes:
+                        m.put(f"k{key}", i)
+
+                rt.begin_tx()
+                body()
+                if rt.end_tx():
+                    report.commits += 1
+                else:
+                    report.aborts += 1
+            elapsed_ms = (time.perf_counter() - t0) * 1e3
+            report.ops[op] = report.ops.get(op, 0) + 1
+            report.latencies_ms.setdefault(op, []).append(elapsed_ms)
+        report.duration_s = time.perf_counter() - started
+        return report

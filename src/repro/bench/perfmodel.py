@@ -1,0 +1,253 @@
+"""The calibrated model of the paper's testbed.
+
+Section 6: "36 8-core machines in two racks, with gigabit NICs ... Half
+the nodes are equipped with two Intel X25V SSDs each. In all the
+experiments, we run an 18-node CORFU deployment ... in a 9X2
+configuration ... The CORFU sequencer runs on a powerful, 32-core
+machine ... The other 18 nodes are used as clients ... We use 4KB
+entries in the CORFU log, with a batch size of 4 at each client."
+
+Every constant below is calibrated against a *reported number* in the
+paper, not measured on our hardware (absolute fidelity is explicitly a
+non-goal; see DESIGN.md). The calibration anchors:
+
+===========================  ==========================================
+constant                     anchor in the paper
+===========================  ==========================================
+``seq_service``              Fig 2 plateau: ~570K requests/sec
+``net_latency``              sub-millisecond reads; ~10ms slow ops
+``read_cpu``                 Fig 8 left, read-only curve: ~150-180K/s
+``append_cpu``               Fig 8 left, write-only: 38K ops/s (9.5K
+                             entries/s at batch 4)
+``ssd_write_service``        Fig 10 left: 6-server log saturates at
+                             ~150K tx/s = 37.5K entries/s over 3 chains
+``ssd_read_service``         Fig 8 right: 2-server log saturates at
+                             ~120K reads/s
+``apply_cpu``                Fig 9: the playback bottleneck, "tens of
+                             thousands of operations per second" per
+                             client (~40K records/s ceiling)
+``tx_cpu``                   Fig 10 left: ~200K tx/s across 18 clients
+===========================  ==========================================
+
+The modeled read path reflects the paper's indexed-view design (section
+3.1, "Durability"): a linearizable read is a fast check at the sequencer
+plus one 4KB entry fetch from the offset the view points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.engine import Server, Simulator
+from repro.sim.network import Nic
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Calibrated testbed constants (seconds / bytes)."""
+
+    nic_bandwidth: float = 1e9  # gigabit NICs
+    net_latency: float = 60e-6  # one-way, incl. kernel stack
+    seq_service: float = 1.75e-6  # 1/570K
+    ssd_write_service: float = 80e-6  # 4KB flash write (X25V class)
+    ssd_read_service: float = 16.5e-6  # 4KB flash read (cached/flash mix)
+    read_cpu: float = 5.5e-6  # client CPU per linearizable read
+    append_cpu: float = 105e-6  # client CPU per 4KB entry append
+    tx_cpu: float = 55e-6  # client CPU per transaction (generate+validate)
+    apply_cpu: float = 25e-6  # client CPU per played record
+    decision_cpu: float = 15e-6  # extra CPU to build/append a decision
+    entry_bytes: int = 4096
+    batch: int = 4  # commit records per log entry
+    small_rpc_bytes: int = 128  # sequencer requests, acks
+
+
+DEFAULT_PARAMS = ModelParams()
+
+
+class ModeledCluster:
+    """Queueing-network model of one CORFU deployment plus its clients.
+
+    Replica chains are modeled as the client writing each replica in
+    sequence (client-driven chain replication); reads hit the chain's
+    tail. Server names follow the functional layer's layout: chain ``s``
+    has replicas ``(s, 0) .. (s, r-1)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_sets: int = 9,
+        replication: int = 2,
+        num_clients: int = 18,
+        params: ModelParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.num_sets = num_sets
+        self.replication = replication
+        self.num_clients = num_clients
+        p = params
+        self.seq_cpu = Server(sim, capacity=1, name="sequencer")
+        self.seq_nic = Nic(sim, p.nic_bandwidth * 10, p.net_latency, "seq")
+        # The sequencer machine is "powerful, 32-core" with a fat pipe;
+        # its NIC is 10GbE-class so the CPU is the plateau, as in Fig 2.
+        self.storage_nic: Dict[Tuple[int, int], Nic] = {}
+        self.ssd: Dict[Tuple[int, int], Server] = {}
+        for s in range(num_sets):
+            for r in range(replication):
+                key = (s, r)
+                self.storage_nic[key] = Nic(
+                    sim, p.nic_bandwidth, p.net_latency, f"flash-{s}-{r}"
+                )
+                self.ssd[key] = Server(sim, capacity=1, name=f"ssd-{s}-{r}")
+        self.client_nic: List[Nic] = [
+            Nic(sim, p.nic_bandwidth, p.net_latency, f"client-{i}")
+            for i in range(num_clients)
+        ]
+        self.client_cpu: List[Server] = [
+            Server(sim, capacity=1, name=f"cpu-{i}") for i in range(num_clients)
+        ]
+        self._tail = 0
+        self._read_rr = 0
+
+    # ------------------------------------------------------------------
+    # protocol cost paths (each returns a delay in seconds)
+    # ------------------------------------------------------------------
+
+    def next_offset(self) -> int:
+        """Logical tail (used only to spread load across chains)."""
+        offset = self._tail
+        self._tail += 1
+        return offset
+
+    def sequencer_rpc(self, client: int) -> float:
+        """One round-trip to the sequencer (check or increment)."""
+        p = self.params
+        nic = self.client_nic[client]
+        out = nic.send(p.small_rpc_bytes) + self.seq_nic.rx.transfer(
+            p.small_rpc_bytes
+        )
+        svc = self.seq_cpu.acquire(p.seq_service)
+        back = self.seq_nic.tx.transfer(p.small_rpc_bytes) + nic.recv(
+            p.small_rpc_bytes
+        )
+        return out + svc + back
+
+    def append_entry(self, client: int) -> Tuple[float, int]:
+        """Append one 4KB entry: CPU + sequencer + chain writes.
+
+        Returns (delay, offset). The client streams the entry to each
+        replica of the chain in order and waits for each SSD.
+        """
+        p = self.params
+        delay = self.client_cpu[client].acquire(p.append_cpu)
+        delay += self.sequencer_rpc(client)
+        offset = self.next_offset()
+        chain = offset % self.num_sets
+        nic = self.client_nic[client]
+        for r in range(self.replication):
+            delay += nic.send(p.entry_bytes)
+            delay += self.storage_nic[(chain, r)].rx.transfer(p.entry_bytes)
+            delay += self.ssd[(chain, r)].acquire(p.ssd_write_service)
+            delay += self.storage_nic[(chain, r)].tx.transfer(
+                p.small_rpc_bytes
+            ) + nic.recv(p.small_rpc_bytes)
+        return delay, offset
+
+    def read_entry(self, client: int, offset: int, tail: bool = False) -> float:
+        """Random read of one 4KB entry from its chain.
+
+        Entries known committed may be served by any replica (balanced
+        by offset); entries at the frontier — playback fetching what the
+        sequencer just reported — must go to the chain *tail*, the only
+        replica guaranteed to expose a completed write. That asymmetry
+        is what saturates small logs in Figure 8 (right): all playback
+        traffic for a 1-chain log converges on one tail NIC.
+        """
+        p = self.params
+        chain = offset % self.num_sets
+        if tail:
+            replica = self.replication - 1
+        else:
+            replica = (offset // self.num_sets) % self.replication
+        nic = self.client_nic[client]
+        delay = nic.send(p.small_rpc_bytes)
+        delay += self.storage_nic[(chain, replica)].rx.transfer(p.small_rpc_bytes)
+        delay += self.ssd[(chain, replica)].acquire(p.ssd_read_service)
+        delay += self.storage_nic[(chain, replica)].tx.transfer(p.entry_bytes)
+        delay += nic.recv(p.entry_bytes)
+        return delay
+
+    def linearizable_read(self, client: int) -> float:
+        """One linearizable accessor: fast check + local view read.
+
+        The view holds the value in RAM, so a read with no pending
+        updates is a single sequencer round-trip plus client CPU —
+        that is how a single client sustains 135K reads/s over a
+        gigabit NIC (Fig 8 left). Catching up with pending writes is
+        the *playback* cost, modeled separately (``read_entry`` with
+        ``tail=True`` plus ``apply_cpu``) because it is driven by the
+        write rate, not the read rate.
+        """
+        p = self.params
+        delay = self.client_cpu[client].acquire(p.read_cpu)
+        delay += self.sequencer_rpc(client)
+        return delay
+
+    def playback_fetch(self, client: int, offset: int) -> float:
+        """Fetch-and-apply one frontier entry (a playback step)."""
+        p = self.params
+        delay = self.read_entry(client, offset, tail=True)
+        delay += self.client_cpu[client].acquire(p.apply_cpu * p.batch)
+        return delay
+
+    def next_read_target(self, client: int) -> int:
+        """Spread read traffic across chains like real offsets do."""
+        # Deterministic striping is how the mapping function behaves.
+        self._read_rr += 1
+        return self._read_rr
+
+    def append_op(self, client: int, payload_share: float = 1.0) -> float:
+        """Amortized cost of one *operation* under record batching.
+
+        The runtime packs ``batch`` records per 4KB entry, so each op
+        pays 1/batch of the entry's CPU, sequencer, wire, and SSD cost.
+        Amortization preserves total load on every shared server, which
+        is what the throughput curves are made of; per-op latency is the
+        amortized share plus whatever queueing develops.
+        """
+        p = self.params
+        share = payload_share / p.batch
+        delay = self.client_cpu[client].acquire(p.append_cpu * share)
+        # Sequencer: one increment per entry.
+        nic = self.client_nic[client]
+        delay += nic.send(int(p.small_rpc_bytes * share)) + self.seq_nic.rx.transfer(
+            int(p.small_rpc_bytes * share)
+        )
+        delay += self.seq_cpu.acquire(p.seq_service * share)
+        delay += self.seq_nic.tx.transfer(int(p.small_rpc_bytes * share)) + nic.recv(
+            int(p.small_rpc_bytes * share)
+        )
+        # Chain writes: 1/batch of the 4KB entry to each replica.
+        offset = self.next_offset()
+        chain = offset % self.num_sets
+        nbytes = int(p.entry_bytes * share)
+        for r in range(self.replication):
+            delay += nic.send(nbytes)
+            delay += self.storage_nic[(chain, r)].rx.transfer(nbytes)
+            delay += self.ssd[(chain, r)].acquire(p.ssd_write_service * share)
+        return delay
+
+    def playback_records(self, client: int, records: int) -> float:
+        """Client-side cost of consuming *records* played records.
+
+        Covers the entry fetch amortized over the batch plus the apply
+        upcall CPU — the per-client playback bottleneck of section 1.
+        """
+        p = self.params
+        nic = self.client_nic[client]
+        # Wire cost amortizes over the batch (4 records per 4KB entry).
+        delay = nic.recv(int(p.entry_bytes * records / p.batch))
+        delay += self.client_cpu[client].acquire(p.apply_cpu * records)
+        return delay

@@ -1,0 +1,91 @@
+"""Terminal plotting: render experiment curves as ASCII charts.
+
+No plotting stack is assumed (the reproduction runs offline); these
+helpers draw the evaluation's throughput/latency curves directly in the
+terminal, good enough to eyeball plateaus, knees, and crossovers against
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_GLYPHS = "ox+*#@"
+
+
+def ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one shared-axes ASCII chart.
+
+    Each series gets a glyph; overlapping points show the later series'
+    glyph. Axes are annotated with min/max; the y-axis starts at zero
+    (throughput plots read wrong otherwise).
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pts:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    top_label = f"{y_hi:g}"
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{top_label:>10} |"
+        elif i == height - 1:
+            prefix = f"{y_lo:>10g} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    footer = f"{x_lo:<12g}{x_label:^{max(0, width - 24)}}{x_hi:>12g}"
+    lines.append(" " * 12 + footer)
+    if y_label:
+        lines.insert(1 if not title else 2, f"y: {y_label}")
+    return "\n".join(lines)
+
+
+def series_from_rows(
+    rows: Sequence[dict], x_key: str, y_key: str, group_key: str = None
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Group experiment rows into plottable series.
+
+    With *group_key*, one series per distinct group value; otherwise a
+    single anonymous series.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        name = str(row[group_key]) if group_key else y_key
+        series.setdefault(name, []).append(
+            (float(row[x_key]), float(row[y_key]))
+        )
+    for pts in series.values():
+        pts.sort()
+    return series

@@ -1,0 +1,68 @@
+"""Workload generators for the evaluation.
+
+Figure 9 "chooses keys using a highly skewed zipf distribution
+(corresponding to workload 'a' of the Yahoo! Cloud Serving Benchmark)"
+or a uniform distribution; "each transaction reads three keys and writes
+three other keys".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.util.zipf import ZipfGenerator
+
+
+class KeyChooser:
+    """Uniform or zipfian key selection over ``[0, num_keys)``."""
+
+    def __init__(
+        self, num_keys: int, distribution: str = "uniform", seed: int = 0
+    ) -> None:
+        if distribution not in ("uniform", "zipf"):
+            raise ValueError(f"unknown distribution {distribution!r}")
+        self.num_keys = num_keys
+        self.distribution = distribution
+        self._rng = random.Random(seed)
+        self._zipf = (
+            ZipfGenerator(num_keys, rng=self._rng)
+            if distribution == "zipf"
+            else None
+        )
+
+    def choose(self) -> int:
+        if self._zipf is not None:
+            return self._zipf.sample()
+        return self._rng.randrange(self.num_keys)
+
+    def choose_distinct(self, count: int) -> List[int]:
+        """*count* distinct keys (resampling duplicates)."""
+        keys: List[int] = []
+        seen = set()
+        guard = 0
+        while len(keys) < count:
+            key = self.choose()
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+            guard += 1
+            if guard > 100 * count:
+                # Pathologically small key spaces: fall back to reuse.
+                keys.append(key)
+        return keys
+
+
+@dataclass(frozen=True)
+class TxShape:
+    """Shape of the evaluation's transactions (3 reads + 3 writes)."""
+
+    reads: int = 3
+    writes: int = 3
+
+    def sample(self, chooser: KeyChooser) -> Tuple[List[int], List[int]]:
+        """Draw disjoint read and write key sets (Figure 9: "each
+        transaction reads three keys and writes three other keys")."""
+        keys = chooser.choose_distinct(self.reads + self.writes)
+        return keys[: self.reads], keys[self.reads :]

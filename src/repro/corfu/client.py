@@ -1,0 +1,266 @@
+"""The CORFU client library.
+
+Paper section 2.2: "The CORFU interface is simple, consisting of four
+basic calls": ``append``, ``check``, ``read``, and ``trim``, plus the
+``fill`` primitive for patching holes. Section 5 adds stream support:
+appends may carry a set of stream ids, in which case the client obtains
+backpointers from the sequencer and prepends stream headers to the
+payload before running chain replication.
+
+The client owns all retry logic:
+
+- losing an append race (:class:`~repro.errors.WrittenError` at the
+  chain head) fetches a fresh offset and tries again;
+- a stale epoch (:class:`~repro.errors.SealedError`) refreshes the
+  projection from the cluster and retries;
+- a dead node (:class:`~repro.errors.NodeDownError`) triggers
+  reconfiguration (ejecting the node or replacing the sequencer) and
+  retries against the new projection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.corfu.cluster import CorfuCluster
+from repro.corfu.entry import LogEntry, make_header, max_payload_bytes
+from repro.corfu.layout import Projection
+from repro.corfu.replication import ChainReplicator
+from repro.errors import (
+    NodeDownError,
+    SealedError,
+    TooManyStreamsError,
+    WrittenError,
+)
+
+_MAX_RETRIES = 32
+
+
+class CorfuClient:
+    """One client's handle on the shared log."""
+
+    def __init__(self, cluster: CorfuCluster) -> None:
+        self._cluster = cluster
+        self._projection: Projection = cluster.projection
+        self._chain = ChainReplicator(cluster.storage)
+        # Counters for tests / the performance model.
+        self.appends = 0
+        self.reads = 0
+        self.fills = 0
+
+    # -- projection management ----------------------------------------------
+
+    @property
+    def projection(self) -> Projection:
+        return self._projection
+
+    @property
+    def max_payload(self) -> int:
+        """Payload capacity of one log entry under this deployment."""
+        return max_payload_bytes(
+            self._cluster.entry_size, self._cluster.max_streams, self._cluster.k
+        )
+
+    @property
+    def max_streams(self) -> int:
+        """Maximum streams per entry (caps a transaction's write set)."""
+        return self._cluster.max_streams
+
+    def refresh_projection(self) -> None:
+        """Fetch the latest projection from the auxiliary."""
+        self._projection = self._cluster.projection
+
+    def _handle_node_down(self, exc: NodeDownError) -> None:
+        """React to a dead node by driving reconfiguration, then refresh."""
+        from repro.corfu import reconfig
+
+        # Another client may have reconfigured already; check the latest
+        # projection before driving a redundant epoch change.
+        self.refresh_projection()
+        proj = self._projection
+        if exc.node == proj.sequencer:
+            reconfig.replace_sequencer(self._cluster)
+        elif exc.node in proj.all_nodes():
+            reconfig.eject_storage_node(self._cluster, exc.node)
+        self.refresh_projection()
+
+    # -- append path ---------------------------------------------------------
+
+    def append(self, payload: bytes, stream_ids: Sequence[int] = ()) -> int:
+        """Append *payload* to the log (and to *stream_ids*); return its offset.
+
+        This is the multiappend of section 4.1 when more than one stream
+        id is given: the entry occupies a single position in the global
+        order but belongs to every listed stream.
+        """
+        if len(stream_ids) > self._cluster.max_streams:
+            raise TooManyStreamsError(len(stream_ids), self._cluster.max_streams)
+        limit = max_payload_bytes(
+            self._cluster.entry_size, self._cluster.max_streams, self._cluster.k
+        )
+        if len(payload) > limit:
+            raise ValueError(
+                f"payload of {len(payload)} bytes exceeds the "
+                f"{limit}-byte capacity of a {self._cluster.entry_size}-byte entry"
+            )
+        for _ in range(_MAX_RETRIES):
+            try:
+                return self._append_once(payload, stream_ids)
+            except WrittenError:
+                continue  # lost the race; take a new offset
+            except SealedError:
+                self.refresh_projection()
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+        raise WrittenError(-1)
+
+    def _append_once(self, payload: bytes, stream_ids: Sequence[int]) -> int:
+        proj = self._projection
+        seq = self._cluster.sequencer(proj.sequencer)
+        offset, backpointers = seq.increment(stream_ids, epoch=proj.epoch)
+        headers = tuple(
+            make_header(sid, backpointers[sid], offset, self._cluster.k)
+            for sid in stream_ids
+        )
+        entry = LogEntry(headers=headers, payload=payload)
+        raw = entry.encode(offset, self._cluster.k, self._cluster.max_streams)
+        rset, address = proj.map_offset(offset)
+        self._chain.write(rset, address, raw, proj.epoch)
+        self.appends += 1
+        return offset
+
+    # -- read path ------------------------------------------------------------
+
+    def read(self, offset: int) -> LogEntry:
+        """Read and decode the entry at *offset*.
+
+        Raises :class:`UnwrittenError` for holes and
+        :class:`TrimmedError` for reclaimed offsets.
+        """
+        for _ in range(_MAX_RETRIES):
+            proj = self._projection
+            rset, address = proj.map_offset(offset)
+            try:
+                raw = self._chain.read(rset, address, proj.epoch)
+            except SealedError:
+                self.refresh_projection()
+                continue
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+                continue
+            self.reads += 1
+            return LogEntry.decode(raw, offset, self._cluster.k)
+        raise NodeDownError("unreachable: read retries exhausted")
+
+    def is_written(self, offset: int) -> bool:
+        """True if *offset* is owned by some append (even one in flight)."""
+        for _ in range(_MAX_RETRIES):
+            proj = self._projection
+            rset, address = proj.map_offset(offset)
+            try:
+                return self._chain.is_written(rset, address, proj.epoch)
+            except SealedError:
+                self.refresh_projection()
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+        raise NodeDownError("unreachable: is_written retries exhausted")
+
+    # -- check ---------------------------------------------------------------
+
+    def check(self, fast: bool = True) -> int:
+        """Return the current tail of the log.
+
+        The fast check is one round-trip to the sequencer
+        (sub-millisecond in the paper); the slow check queries every
+        storage node for its local tail and inverts the mapping function
+        (tens of milliseconds), and works with no sequencer at all.
+        """
+        if fast:
+            for _ in range(_MAX_RETRIES):
+                proj = self._projection
+                try:
+                    tail, _ = self._cluster.sequencer(proj.sequencer).query(
+                        (), epoch=proj.epoch
+                    )
+                    return tail
+                except SealedError:
+                    self.refresh_projection()
+                except NodeDownError as exc:
+                    self._handle_node_down(exc)
+            raise NodeDownError("unreachable: check retries exhausted")
+        return self._slow_check()
+
+    def _slow_check(self) -> int:
+        """Query storage-node local tails and invert the mapping."""
+        proj = self._projection
+        tail = 0
+        for set_index, rset in enumerate(proj.replica_sets):
+            local_tail = 0
+            for node in rset:
+                try:
+                    local_tail = max(
+                        local_tail, self._cluster.storage(node).local_tail()
+                    )
+                except NodeDownError:
+                    continue
+            if local_tail > 0:
+                tail = max(tail, proj.global_offset(set_index, local_tail - 1) + 1)
+        return tail
+
+    def query_streams(
+        self, stream_ids: Sequence[int]
+    ) -> Tuple[int, Dict[int, Tuple[int, ...]]]:
+        """Sequencer query: tail + last-K offsets for each stream."""
+        for _ in range(_MAX_RETRIES):
+            proj = self._projection
+            try:
+                return self._cluster.sequencer(proj.sequencer).query(
+                    stream_ids, epoch=proj.epoch
+                )
+            except SealedError:
+                self.refresh_projection()
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+        raise NodeDownError("unreachable: query retries exhausted")
+
+    # -- hole filling and reclamation -----------------------------------------
+
+    def fill(self, offset: int) -> None:
+        """Patch the hole at *offset* with a junk value.
+
+        Used after a timeout when a crashed client reserved an offset but
+        never wrote it (section 3.2, "Failure Handling"). If the original
+        writer races us and wins, that is success too: the hole is gone.
+        """
+        junk = LogEntry.junk().encode(offset, self._cluster.k, self._cluster.max_streams)
+        for _ in range(_MAX_RETRIES):
+            proj = self._projection
+            rset, address = proj.map_offset(offset)
+            try:
+                self._chain.write(rset, address, junk, proj.epoch)
+                self.fills += 1
+                return
+            except WrittenError:
+                return  # no longer a hole — either filled or completed
+            except SealedError:
+                self.refresh_projection()
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+        raise NodeDownError("unreachable: fill retries exhausted")
+
+    def trim(self, offset: int) -> None:
+        """Mark one offset as reclaimable."""
+        proj = self._projection
+        rset, address = proj.map_offset(offset)
+        self._chain.trim(rset, address, proj.epoch)
+
+    def trim_prefix(self, offset: int) -> None:
+        """Reclaim every offset strictly below *offset* (sequential trim)."""
+        proj = self._projection
+        n = len(proj.replica_sets)
+        for set_index, rset in enumerate(proj.replica_sets):
+            if offset > set_index:
+                local_count = (offset - set_index + n - 1) // n
+            else:
+                local_count = 0
+            self._chain.trim_prefix(rset, local_count, proj.epoch)

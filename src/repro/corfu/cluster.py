@@ -1,0 +1,135 @@
+"""In-process wiring for a CORFU deployment.
+
+A :class:`CorfuCluster` owns the storage units and sequencers named by
+the current projection and plays the role of the auxiliary that stores
+projections (the paper's CORFU keeps projections in a separate
+Paxos-backed auxiliary; for an in-process deployment a single
+authoritative copy with an epoch check gives the same semantics).
+
+The cluster also exposes the fault-injection surface used by the tests
+and benchmarks: crashing/recovering storage units and sequencers.
+Clients never touch each other — they share only the cluster, exactly as
+Tango runtimes share only the log.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.corfu.entry import DEFAULT_ENTRY_SIZE, DEFAULT_K
+from repro.corfu.layout import Projection, build_projection
+from repro.corfu.sequencer import Sequencer
+from repro.corfu.storage import FlashUnit
+from repro.errors import NodeDownError
+
+
+class CorfuCluster:
+    """A complete in-process CORFU deployment.
+
+    Args:
+        num_sets: number of disjoint replica sets (chains).
+        replication_factor: nodes per chain. The paper's default
+            deployment is ``num_sets=9, replication_factor=2``.
+        k: backpointer redundancy per stream header.
+        entry_size: fixed log entry size in bytes (deployment constant).
+        max_streams: maximum streams per entry, i.e. the cap on how many
+            objects one transaction may write (section 4.1).
+        projection: custom initial projection (overrides num_sets /
+            replication_factor).
+    """
+
+    def __init__(
+        self,
+        num_sets: int = 9,
+        replication_factor: int = 2,
+        k: int = DEFAULT_K,
+        entry_size: int = DEFAULT_ENTRY_SIZE,
+        max_streams: int = 16,
+        projection: Optional[Projection] = None,
+    ) -> None:
+        self.k = k
+        self.entry_size = entry_size
+        self.max_streams = max_streams
+        if projection is None:
+            projection = build_projection(num_sets, replication_factor)
+        self._projection = projection
+        self._lock = threading.Lock()
+        self._units: Dict[str, FlashUnit] = {
+            name: FlashUnit(name) for name in projection.all_nodes()
+        }
+        self._sequencers: Dict[str, Sequencer] = {
+            projection.sequencer: Sequencer(projection.sequencer, k=k)
+        }
+
+    # -- membership ---------------------------------------------------------
+
+    @property
+    def projection(self) -> Projection:
+        """The current (latest-epoch) projection."""
+        with self._lock:
+            return self._projection
+
+    def install_projection(self, projection: Projection) -> None:
+        """Atomically install a higher-epoch projection."""
+        with self._lock:
+            if projection.epoch <= self._projection.epoch:
+                raise ValueError(
+                    f"projection epoch {projection.epoch} is not newer than "
+                    f"current epoch {self._projection.epoch}"
+                )
+            self._projection = projection
+
+    def storage(self, name: str) -> FlashUnit:
+        """Look up a storage unit by name."""
+        try:
+            return self._units[name]
+        except KeyError:
+            raise NodeDownError(name) from None
+
+    def sequencer(self, name: Optional[str] = None) -> Sequencer:
+        """Look up a sequencer (defaults to the current projection's)."""
+        if name is None:
+            name = self.projection.sequencer
+        seq = self._sequencers.get(name)
+        if seq is None:
+            seq = Sequencer(name, k=self.k)
+            self._sequencers[name] = seq
+        return seq
+
+    def client(self) -> "CorfuClient":
+        """Create a new client library instance bound to this cluster."""
+        from repro.corfu.client import CorfuClient
+
+        return CorfuClient(self)
+
+    # -- fault injection ----------------------------------------------------
+
+    def crash_storage(self, name: str) -> None:
+        """Crash one storage unit (contents survive, being flash)."""
+        self._units[name].crash()
+
+    def recover_storage(self, name: str) -> None:
+        """Recover a previously crashed storage unit."""
+        self._units[name].recover()
+
+    def crash_sequencer(self, name: Optional[str] = None) -> None:
+        """Crash a sequencer, losing its soft state."""
+        if name is None:
+            name = self.projection.sequencer
+        self._sequencers[name].crash()
+
+    # -- introspection ------------------------------------------------------
+
+    def total_storage_reads(self) -> int:
+        return sum(u.reads for u in self._units.values())
+
+    def total_storage_writes(self) -> int:
+        return sum(u.writes for u in self._units.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        p = self.projection
+        return (
+            f"<CorfuCluster epoch={p.epoch} sets={len(p.replica_sets)} "
+            f"sequencer={p.sequencer}>"
+        )

@@ -1,0 +1,142 @@
+"""Projections: the mapping from log offsets to storage pages.
+
+Paper section 2.2: "CORFU organizes a cluster of storage nodes into
+multiple, disjoint replica sets; for example, a 12-node cluster might
+consist of 4 replica sets of size 3 ... It then maps this offset to a
+local offset on one of the replica sets using a simple deterministic
+mapping over the membership of the cluster. For example, offset 0 might
+be mapped to A:0 (i.e., page 0 on set A ...), offset 1 to B:0, and so on
+until the function wraps back to A:1."
+
+Section 5 makes the sequencer "a first-class member of the 'projection'
+or membership view", so a projection names the sequencer too, and
+replacing a failed sequencer is an ordinary projection change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class ReplicaSet:
+    """An ordered chain of storage node names (head first, tail last)."""
+
+    nodes: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("replica set must contain at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"duplicate nodes in replica set: {self.nodes}")
+
+    @property
+    def head(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def tail(self) -> str:
+        return self.nodes[-1]
+
+    def without(self, node: str) -> "ReplicaSet":
+        """A copy of this set with *node* ejected."""
+        remaining = tuple(n for n in self.nodes if n != node)
+        return ReplicaSet(remaining)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+@dataclass(frozen=True)
+class Projection:
+    """One epoch's view of the cluster membership.
+
+    Attributes:
+        epoch: monotonically increasing configuration number.
+        replica_sets: disjoint chains; offset *o* maps to set
+            ``o % len(replica_sets)`` at local address
+            ``o // len(replica_sets)``.
+        sequencer: name of the sequencer node for this epoch.
+    """
+
+    epoch: int
+    replica_sets: Tuple[ReplicaSet, ...]
+    sequencer: str
+
+    def __post_init__(self) -> None:
+        if not self.replica_sets:
+            raise ValueError("projection needs at least one replica set")
+        seen = set()
+        for rset in self.replica_sets:
+            for node in rset:
+                if node in seen:
+                    raise ValueError(f"node {node} appears in two replica sets")
+                seen.add(node)
+
+    def map_offset(self, offset: int) -> Tuple[ReplicaSet, int]:
+        """Deterministic mapping: global offset -> (replica set, local address)."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        n = len(self.replica_sets)
+        return self.replica_sets[offset % n], offset // n
+
+    def global_offset(self, set_index: int, local_address: int) -> int:
+        """Inverse mapping used by the slow check."""
+        return local_address * len(self.replica_sets) + set_index
+
+    def all_nodes(self) -> List[str]:
+        """Every storage node named by this projection."""
+        return [node for rset in self.replica_sets for node in rset]
+
+    def with_sequencer(self, sequencer: str) -> "Projection":
+        """Next-epoch projection with a replacement sequencer."""
+        return Projection(self.epoch + 1, self.replica_sets, sequencer)
+
+    def with_node_ejected(self, node: str) -> "Projection":
+        """Next-epoch projection with a failed storage node removed.
+
+        The chain that contained *node* simply shrinks; CORFU tolerates
+        f failures per f+1-way replicated chain.
+        """
+        new_sets = []
+        found = False
+        for rset in self.replica_sets:
+            if node in rset.nodes:
+                found = True
+                shrunk = rset.without(node)
+                if not shrunk.nodes:
+                    raise ValueError(
+                        f"ejecting {node} would empty replica set {rset.nodes}"
+                    )
+                new_sets.append(shrunk)
+            else:
+                new_sets.append(rset)
+        if not found:
+            raise ValueError(f"node {node} not in projection epoch {self.epoch}")
+        return Projection(self.epoch + 1, tuple(new_sets), self.sequencer)
+
+
+def build_projection(
+    num_sets: int,
+    replication_factor: int,
+    sequencer: str = "seq-0",
+    epoch: int = 0,
+    node_prefix: str = "flash",
+) -> Projection:
+    """Construct the standard NxR layout used throughout the evaluation.
+
+    The paper's default deployment is 18 nodes in a "9X2 configuration
+    (i.e., 9 sets of 2 replicas each)":
+    ``build_projection(9, 2)``.
+    """
+    sets = []
+    for i in range(num_sets):
+        nodes = tuple(
+            f"{node_prefix}-{i}-{j}" for j in range(replication_factor)
+        )
+        sets.append(ReplicaSet(nodes))
+    return Projection(epoch, tuple(sets), sequencer)

@@ -1,0 +1,232 @@
+"""Reconfiguration: seal-and-advance projection changes.
+
+Paper section 5, "Failure Handling": "we modified reconfiguration in
+CORFU to include the sequencer as a first-class member of the
+'projection' or membership view. When the sequencer fails, the system is
+reconfigured to a new view with a different sequencer, using the same
+protocol used by CORFU to eject failed storage nodes. Any client
+attempting to write to a storage node after obtaining an offset from the
+old sequencer will receive an error message, forcing it to update its
+view and switch to the new sequencer. ... Once a new sequencer comes up,
+it has to reconstruct its backpointer state; in the current
+implementation, this is done by scanning backward on the shared log."
+
+The protocol is the standard CORFU seal-and-advance: (1) seal every
+reachable node of the old projection at the new epoch, so no in-flight
+operation from the old epoch can complete; (2) recover whatever soft
+state the new configuration needs (the tail via the slow check, the
+backpointer map via a backward scan); (3) install the new projection at
+the auxiliary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.corfu.cluster import CorfuCluster
+from repro.corfu.layout import Projection
+from repro.errors import (
+    NodeDownError,
+    SealedError,
+    TrimmedError,
+    UnwrittenError,
+)
+
+
+def seal_cluster(cluster: CorfuCluster, old: Projection, new_epoch: int) -> None:
+    """Seal every reachable node (storage + sequencer) of *old* at *new_epoch*."""
+    for name in old.all_nodes():
+        try:
+            cluster.storage(name).seal(new_epoch)
+        except (NodeDownError, SealedError):
+            continue  # dead nodes can't serve stale requests anyway
+    try:
+        cluster.sequencer(old.sequencer).seal(new_epoch)
+    except (NodeDownError, SealedError):
+        pass
+
+
+def eject_storage_node(cluster: CorfuCluster, node: str) -> Projection:
+    """Remove a failed storage node from its chain; returns the new projection.
+
+    Idempotent under races: if another client already ejected the node,
+    the install fails with a stale epoch and we simply return the
+    current projection.
+    """
+    old = cluster.projection
+    if node not in old.all_nodes():
+        return old  # already ejected by someone else
+    new = old.with_node_ejected(node)
+    seal_cluster(cluster, old, new.epoch)
+    try:
+        cluster.install_projection(new)
+    except ValueError:
+        return cluster.projection
+    return new
+
+
+def slow_check_tail(cluster: CorfuCluster, projection: Projection) -> int:
+    """Recover the global tail from storage-node local tails.
+
+    This is the slow check of section 2.2: query each replica set for
+    its highest written local address and invert the mapping function.
+    """
+    tail = 0
+    for set_index, rset in enumerate(projection.replica_sets):
+        local_tail = 0
+        for node in rset:
+            try:
+                local_tail = max(local_tail, cluster.storage(node).local_tail())
+            except NodeDownError:
+                continue
+        if local_tail > 0:
+            tail = max(
+                tail, projection.global_offset(set_index, local_tail - 1) + 1
+            )
+    return tail
+
+
+def rebuild_stream_tails(
+    cluster: CorfuCluster,
+    projection: Projection,
+    tail: int,
+    k: int,
+    epoch: int,
+) -> Dict[int, List[int]]:
+    """Reconstruct the sequencer's per-stream last-K map by backward scan.
+
+    Reads entries from ``tail - 1`` down to 0 and records, for each
+    stream, the most recent K offsets it appears at. Holes and trimmed
+    offsets are skipped; junk entries carry no stream headers and
+    contribute nothing.
+
+    If the scan meets a sequencer checkpoint entry (see
+    :func:`checkpoint_sequencer_state`), it stops there: the checkpoint
+    holds the state as of its own offset, and everything newer was just
+    scanned. The snapshot's per-stream offsets fill whatever slots the
+    scan has not already filled with newer ones.
+    """
+    import json
+
+    from repro.corfu.entry import LogEntry
+
+    stream_tails: Dict[int, List[int]] = {}
+    for offset in range(tail - 1, -1, -1):
+        rset, address = projection.map_offset(offset)
+        raw = _read_any_replica(cluster, rset, address, epoch)
+        if raw is None:
+            continue
+        entry = LogEntry.decode(raw, offset, k)
+        for header in entry.headers:
+            offsets = stream_tails.setdefault(header.stream_id, [])
+            if len(offsets) < k:
+                offsets.append(offset)
+        if not entry.is_junk and entry.payload.startswith(_SEQ_CKPT_MAGIC):
+            snapshot = json.loads(entry.payload[len(_SEQ_CKPT_MAGIC):])
+            for sid_str, old_offsets in snapshot.items():
+                sid = int(sid_str)
+                merged = stream_tails.setdefault(sid, [])
+                for old in old_offsets:
+                    if len(merged) >= k:
+                        break
+                    if old < offset and old not in merged:
+                        merged.append(old)
+            break
+    return stream_tails
+
+
+#: Stream id reserved for sequencer state checkpoints. Stream ids are
+#: 31-bit; Tango object ids in practice stay tiny, so the top of the
+#: space is free for infrastructure streams.
+SEQUENCER_CHECKPOINT_STREAM = (1 << 31) - 1
+
+_SEQ_CKPT_MAGIC = b"SEQCKPT1"
+
+
+def checkpoint_sequencer_state(cluster: CorfuCluster) -> int:
+    """Store the sequencer's backpointer map in the log; returns its offset.
+
+    Implements the optimization section 5 leaves as future work: "we
+    plan on expediting this by having the sequencer store periodic
+    checkpoints in the log." A later failover scans backward only to the
+    newest checkpoint instead of to the beginning of the log.
+
+    Ordering matters: the checkpoint's offset C is reserved *first*,
+    then the state is snapshotted. Every reservation issued before ours
+    is in the snapshot; every one issued after has an offset above C and
+    is covered by the recovery scan. Nothing can fall between.
+    """
+    import json
+
+    from repro.corfu.entry import LogEntry, make_header
+    from repro.corfu.replication import ChainReplicator
+
+    proj = cluster.projection
+    seq = cluster.sequencer(proj.sequencer)
+    offset, backpointers = seq.increment(
+        (SEQUENCER_CHECKPOINT_STREAM,), epoch=proj.epoch
+    )
+    snapshot = {
+        str(sid): list(offsets)
+        for sid, offsets in seq._stream_tails.items()  # noqa: SLF001
+    }
+    payload = _SEQ_CKPT_MAGIC + json.dumps(snapshot).encode("utf-8")
+    header = make_header(
+        SEQUENCER_CHECKPOINT_STREAM,
+        backpointers[SEQUENCER_CHECKPOINT_STREAM],
+        offset,
+        cluster.k,
+    )
+    entry = LogEntry(headers=(header,), payload=payload)
+    raw = entry.encode(offset, cluster.k, cluster.max_streams)
+    rset, address = proj.map_offset(offset)
+    ChainReplicator(cluster.storage).write(rset, address, raw, proj.epoch)
+    return offset
+
+
+def _read_any_replica(cluster, rset, address: int, epoch: int):
+    """Read one page from any surviving replica, tail first.
+
+    Recovery must tolerate replicas that crashed without having been
+    ejected from the projection yet: the tail may be down while the
+    head still holds the data. Reading towards the head may observe an
+    in-flight (head-only) write — acceptable here, since the winner of
+    that offset will complete the chain, and advisory backpointer state
+    may safely reference it. Returns None for holes, trimmed pages, or
+    fully unreachable chains (the scan skips the offset).
+    """
+    for node in reversed(rset.nodes):
+        try:
+            return cluster.storage(node).read(address, epoch)
+        except TrimmedError:
+            return None
+        except (UnwrittenError, NodeDownError):
+            # A tail-unwritten page may still be an in-flight write held
+            # at an upstream replica; keep walking towards the head.
+            continue
+    return None
+
+
+def replace_sequencer(
+    cluster: CorfuCluster, new_name: Optional[str] = None
+) -> Projection:
+    """Fail over to a new sequencer, recovering its soft state.
+
+    Steps: seal the old epoch everywhere, recover the tail with the slow
+    check, rebuild the backpointer map by scanning backward, bootstrap
+    the replacement, and install the new projection.
+    """
+    old = cluster.projection
+    if new_name is None:
+        new_name = f"seq-{old.epoch + 1}"
+    new = old.with_sequencer(new_name)
+    seal_cluster(cluster, old, new.epoch)
+    tail = slow_check_tail(cluster, new)
+    stream_tails = rebuild_stream_tails(cluster, new, tail, cluster.k, new.epoch)
+    replacement = cluster.sequencer(new_name)
+    replacement.bootstrap(tail, stream_tails, new.epoch)
+    try:
+        cluster.install_projection(new)
+    except ValueError:
+        return cluster.projection
+    return new

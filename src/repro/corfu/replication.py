@@ -1,0 +1,110 @@
+"""Client-driven chain replication.
+
+Paper section 2.2: "The client then completes the append by directly
+issuing writes to the storage nodes in the replica set using a
+client-driven variant of Chain Replication [45]. ... the Chain
+Replication variant used to write to the storage nodes guarantees that a
+single client will 'win' if multiple clients attempt to write to the
+same offset."
+
+The rules implemented here:
+
+- **writes** go down the chain head-to-tail. The write-once check at the
+  head arbitrates races: whoever writes the head owns the offset and
+  must complete the chain; everyone else sees
+  :class:`~repro.errors.WrittenError` and gives up. A
+  :class:`WrittenError` *past* the head means some reader already
+  repaired the suffix on the winner's behalf, so the winner treats it as
+  success.
+- **reads** go to the tail, because an entry is only guaranteed durable
+  (and therefore visible) once the whole chain holds it. A hole at the
+  tail with data at the head is an in-flight write; the reader completes
+  it (read-repair) and then returns the value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.corfu.layout import ReplicaSet
+from repro.corfu.storage import FlashUnit
+from repro.errors import UnwrittenError, WrittenError
+
+# Resolves a storage node name to its FlashUnit.
+UnitLookup = Callable[[str], FlashUnit]
+
+
+class ChainReplicator:
+    """Stateless helper implementing the chain read/write rules."""
+
+    def __init__(self, lookup: UnitLookup) -> None:
+        self._lookup = lookup
+
+    def write(self, rset: ReplicaSet, address: int, data: bytes, epoch: int) -> None:
+        """Write *data* at *address* down the chain.
+
+        Raises :class:`WrittenError` if another client won the race at
+        the head. Propagates :class:`~repro.errors.NodeDownError` /
+        :class:`~repro.errors.SealedError` so the caller can reconfigure.
+        """
+        for i, node in enumerate(rset):
+            unit = self._lookup(node)
+            try:
+                unit.write(address, data, epoch)
+            except WrittenError:
+                if i == 0:
+                    # Lost the race at the head: the offset belongs to
+                    # someone else.
+                    raise
+                # Suffix already repaired by a reader; verify and move on.
+                existing = unit.read(address, epoch)
+                if existing != data:
+                    raise AssertionError(
+                        f"chain divergence at {node}:{address}: replica "
+                        f"holds different data than the head winner wrote"
+                    )
+
+    def read(self, rset: ReplicaSet, address: int, epoch: int) -> bytes:
+        """Read *address* from the tail, repairing in-flight writes.
+
+        Raises :class:`UnwrittenError` if the offset is a genuine hole
+        (no replica holds data), which the caller may then ``fill``.
+        """
+        tail = self._lookup(rset.tail)
+        try:
+            return tail.read(address, epoch)
+        except UnwrittenError:
+            if len(rset) == 1:
+                raise
+        # Tail is unwritten. Check the head: if it holds data, the write
+        # is in flight and we complete it; otherwise this is a hole.
+        head = self._lookup(rset.head)
+        data = head.read(address, epoch)  # raises UnwrittenError on a hole
+        self._repair(rset, address, data, epoch)
+        return data
+
+    def is_written(self, rset: ReplicaSet, address: int, epoch: int) -> bool:
+        """True if the offset is owned (head written), even if in flight."""
+        head = self._lookup(rset.head)
+        return head.is_written(address, epoch)
+
+    def trim(self, rset: ReplicaSet, address: int, epoch: int) -> None:
+        """Trim one address on every replica."""
+        for node in rset:
+            self._lookup(node).trim(address, epoch)
+
+    def trim_prefix(self, rset: ReplicaSet, address: int, epoch: int) -> None:
+        """Trim all local addresses below *address* on every replica."""
+        for node in rset:
+            self._lookup(node).trim_prefix(address, epoch)
+
+    def _repair(self, rset: ReplicaSet, address: int, data: bytes, epoch: int) -> None:
+        """Copy head data down the rest of the chain (read-repair)."""
+        for node in rset.nodes[1:]:
+            unit = self._lookup(node)
+            try:
+                unit.write(address, data, epoch)
+            except WrittenError:
+                # Someone else repaired concurrently; both copied the
+                # head value, so the chain is consistent either way.
+                pass

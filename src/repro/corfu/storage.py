@@ -1,0 +1,202 @@
+"""Flash storage units.
+
+Paper section 2.2: "Each individual storage node exposes a 64-bit
+write-once address space ... a single CORFU storage node is an SSD with a
+custom interface (i.e., a write-once, 64-bit address space instead of a
+conventional LBA, where space is freed by explicit trims rather than
+overwrites)."
+
+A :class:`FlashUnit` here is the in-memory simulation of one such SSD.
+It enforces exactly the semantics the protocols rely on:
+
+- **write-once**: a second write to the same address raises
+  :class:`~repro.errors.WrittenError`; this is what lets chain
+  replication arbitrate append races without coordination.
+- **trim**: explicit reclamation; reading a trimmed address raises
+  :class:`~repro.errors.TrimmedError`.
+- **seal**: reconfiguration fences an old epoch; requests carrying a
+  stale epoch raise :class:`~repro.errors.SealedError`.
+- **local tail**: the unit tracks the highest written address, which the
+  slow check uses to recover the global tail when the sequencer is down.
+- **crash / recover**: a down unit raises
+  :class:`~repro.errors.NodeDownError` for every operation. Flash is
+  non-volatile, so recovery preserves contents.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.errors import (
+    NodeDownError,
+    SealedError,
+    TrimmedError,
+    UnwrittenError,
+    WrittenError,
+)
+
+
+class FlashUnit:
+    """One storage node: a write-once 64-bit address space over flash."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._pages: Dict[int, bytes] = {}
+        self._trimmed_prefix = 0  # all addresses < this are trimmed
+        self._trimmed_sparse: set = set()
+        self._epoch = 0
+        self._down = False
+        # Counters exposed for tests and the performance model.
+        self.reads = 0
+        self.writes = 0
+        self.trims = 0
+        self._lock = threading.RLock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the unit down; subsequent operations raise NodeDownError."""
+        self._down = True
+
+    def recover(self) -> None:
+        """Bring the unit back up with its (non-volatile) contents intact."""
+        self._down = False
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def _check_up(self) -> None:
+        if self._down:
+            raise NodeDownError(self.name)
+
+    def _check_epoch(self, epoch: int) -> None:
+        if epoch < self._epoch:
+            raise SealedError(self._epoch)
+
+    def _is_trimmed(self, address: int) -> bool:
+        return address < self._trimmed_prefix or address in self._trimmed_sparse
+
+    # -- data path ----------------------------------------------------------
+
+    def write(self, address: int, data: bytes, epoch: int) -> None:
+        """Write-once *data* at *address*.
+
+        Raises :class:`WrittenError` if the address already holds data,
+        :class:`TrimmedError` if it was reclaimed, and
+        :class:`SealedError` if *epoch* is stale.
+        """
+        if address < 0:
+            raise ValueError(f"negative address {address}")
+        with self._lock:
+            self._check_up()
+            self._check_epoch(epoch)
+            if self._is_trimmed(address):
+                raise TrimmedError(address)
+            if address in self._pages:
+                raise WrittenError(address)
+            self._pages[address] = data
+            self.writes += 1
+
+    def read(self, address: int, epoch: int) -> bytes:
+        """Read the data at *address*.
+
+        Raises :class:`UnwrittenError` for holes, :class:`TrimmedError`
+        for reclaimed addresses, :class:`SealedError` for stale epochs.
+        """
+        with self._lock:
+            self._check_up()
+            self._check_epoch(epoch)
+            if self._is_trimmed(address):
+                raise TrimmedError(address)
+            if address not in self._pages:
+                raise UnwrittenError(address)
+            self.reads += 1
+            return self._pages[address]
+
+    def is_written(self, address: int, epoch: int) -> bool:
+        """True if *address* holds data (trimmed counts as written)."""
+        with self._lock:
+            self._check_up()
+            self._check_epoch(epoch)
+            return address in self._pages or self._is_trimmed(address)
+
+    def trim(self, address: int, epoch: int) -> None:
+        """Reclaim a single address (idempotent)."""
+        with self._lock:
+            self._check_up()
+            self._check_epoch(epoch)
+            self._pages.pop(address, None)
+            if not self._is_trimmed(address):
+                self._trimmed_sparse.add(address)
+            self.trims += 1
+            self._compact_trims()
+
+    def trim_prefix(self, address: int, epoch: int) -> None:
+        """Reclaim every address strictly below *address*.
+
+        Sequential trims "result in substantially less wear on the flash
+        than random trims" (section 2.2); Tango's directory-driven GC
+        issues prefix trims.
+        """
+        with self._lock:
+            self._check_up()
+            self._check_epoch(epoch)
+            if address <= self._trimmed_prefix:
+                return
+            for addr in [a for a in self._pages if a < address]:
+                del self._pages[addr]
+            self._trimmed_prefix = address
+            self._trimmed_sparse = {
+                a for a in self._trimmed_sparse if a >= address
+            }
+            self.trims += 1
+
+    def _compact_trims(self) -> None:
+        """Fold sparse trims adjacent to the prefix into the prefix."""
+        while self._trimmed_prefix in self._trimmed_sparse:
+            self._trimmed_sparse.discard(self._trimmed_prefix)
+            self._trimmed_prefix += 1
+
+    # -- control path -------------------------------------------------------
+
+    def seal(self, epoch: int) -> int:
+        """Fence all requests below *epoch*; returns the local tail.
+
+        Used by reconfiguration: once every unit of the old projection is
+        sealed, no in-flight client operation from the old epoch can
+        complete, so the new projection can be installed safely.
+        """
+        with self._lock:
+            self._check_up()
+            if epoch <= self._epoch:
+                raise SealedError(self._epoch)
+            self._epoch = epoch
+            return self.local_tail()
+
+    def local_tail(self) -> int:
+        """Highest written local address + 1 (0 if nothing written)."""
+        with self._lock:
+            self._check_up()
+            high = -1
+            if self._pages:
+                high = max(self._pages)
+            if self._trimmed_prefix > 0:
+                high = max(high, self._trimmed_prefix - 1)
+            if self._trimmed_sparse:
+                high = max(high, max(self._trimmed_sparse))
+            return high + 1
+
+    def written_addresses(self):
+        """Iterate over currently-held addresses (for rebuild/scan paths)."""
+        self._check_up()
+        return sorted(self._pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "down" if self._down else f"epoch={self._epoch}"
+        return f"<FlashUnit {self.name} {state} pages={len(self._pages)}>"

@@ -1,0 +1,211 @@
+"""Exception hierarchy for the Tango/CORFU reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause
+while still being able to distinguish the individual failure modes that
+the paper's protocols care about (write-once conflicts, sealed epochs,
+trimmed offsets, transaction aborts, and so on).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# CORFU (shared log) errors
+# ---------------------------------------------------------------------------
+
+
+class CorfuError(ReproError):
+    """Base class for shared-log errors."""
+
+
+class WrittenError(CorfuError):
+    """The target offset was already written (write-once violation).
+
+    Chain replication uses this error to arbitrate races: the first client
+    to complete a write to the head of the chain wins, and every other
+    client gets :class:`WrittenError` and must retry with a fresh offset.
+    """
+
+    def __init__(self, offset: int) -> None:
+        super().__init__(f"offset {offset} is already written")
+        self.offset = offset
+
+
+class UnwrittenError(CorfuError):
+    """The target offset has not been written yet."""
+
+    def __init__(self, offset: int) -> None:
+        super().__init__(f"offset {offset} is unwritten")
+        self.offset = offset
+
+
+class TrimmedError(CorfuError):
+    """The target offset was trimmed and its contents reclaimed."""
+
+    def __init__(self, offset: int) -> None:
+        super().__init__(f"offset {offset} was trimmed")
+        self.offset = offset
+
+
+class SealedError(CorfuError):
+    """The storage unit (or sequencer) was sealed at a higher epoch.
+
+    Clients receiving this error must fetch the latest projection and
+    retry against the new configuration (paper section 5, "Failure
+    Handling").
+    """
+
+    def __init__(self, epoch: int) -> None:
+        super().__init__(f"sealed at epoch {epoch}; refresh projection")
+        self.epoch = epoch
+
+
+class WrongEpochError(CorfuError):
+    """A request carried a stale epoch number."""
+
+    def __init__(self, expected: int, got: int) -> None:
+        super().__init__(f"request epoch {got} != current epoch {expected}")
+        self.expected = expected
+        self.got = got
+
+
+class NodeDownError(CorfuError):
+    """The target node has crashed or is unreachable."""
+
+    def __init__(self, node: str) -> None:
+        super().__init__(f"node {node} is down")
+        self.node = node
+
+
+class OutOfSpaceError(CorfuError):
+    """The shared log's address space mapping has been exhausted."""
+
+
+# ---------------------------------------------------------------------------
+# Stream layer errors
+# ---------------------------------------------------------------------------
+
+
+class StreamError(ReproError):
+    """Base class for stream-layer errors."""
+
+
+class TooManyStreamsError(StreamError):
+    """A multiappend targeted more streams than an entry can hold.
+
+    The limit is set at deployment time and translates to per-entry
+    storage overhead (paper section 4.1: each extra stream costs 12 bytes
+    of header space in a 4KB entry).
+    """
+
+    def __init__(self, requested: int, limit: int) -> None:
+        super().__init__(
+            f"multiappend to {requested} streams exceeds the deployment "
+            f"limit of {limit} stream headers per entry"
+        )
+        self.requested = requested
+        self.limit = limit
+
+
+class UnknownStreamError(StreamError):
+    """The stream id is not known to this client."""
+
+    def __init__(self, stream_id: int) -> None:
+        super().__init__(f"unknown stream {stream_id}")
+        self.stream_id = stream_id
+
+
+# ---------------------------------------------------------------------------
+# Tango runtime errors
+# ---------------------------------------------------------------------------
+
+
+class TangoError(ReproError):
+    """Base class for Tango runtime errors."""
+
+
+class TransactionAborted(TangoError):
+    """The optimistic transaction failed conflict validation.
+
+    Carries the offset of the commit record (if one was appended) and a
+    human-readable reason listing the first stale read detected.
+    """
+
+    def __init__(self, reason: str, commit_offset: int = -1) -> None:
+        super().__init__(f"transaction aborted: {reason}")
+        self.reason = reason
+        self.commit_offset = commit_offset
+
+
+class NoActiveTransaction(TangoError):
+    """EndTX/AbortTX was called with no transaction context open."""
+
+
+class NestedTransactionError(TangoError):
+    """BeginTX was called while a transaction was already open."""
+
+
+class RemoteReadError(TangoError):
+    """A transaction tried to read an object with no local view.
+
+    The paper (section 4.1, case D) explicitly does not support
+    generating commit records that involve remote reads; we raise at the
+    accessor instead of producing an unresolvable commit record.
+    """
+
+    def __init__(self, oid: int) -> None:
+        super().__init__(
+            f"transactional read of object {oid} which has no local view "
+            f"(remote reads at the generating client are unsupported)"
+        )
+        self.oid = oid
+
+
+class ObjectExistsError(TangoError):
+    """An object with this OID or name is already registered."""
+
+
+class UnknownObjectError(TangoError):
+    """No object with this OID or name is known."""
+
+
+# ---------------------------------------------------------------------------
+# Application-level errors (TangoZK / TangoBK / HDFS)
+# ---------------------------------------------------------------------------
+
+
+class ZKError(ReproError):
+    """Base class for TangoZK errors (mirrors ZooKeeper's KeeperException)."""
+
+
+class NoNodeError(ZKError):
+    """The znode does not exist."""
+
+
+class NodeExistsError(ZKError):
+    """The znode already exists."""
+
+
+class NotEmptyError(ZKError):
+    """The znode has children and cannot be deleted."""
+
+
+class BadVersionError(ZKError):
+    """The expected znode version did not match."""
+
+
+class LedgerError(ReproError):
+    """Base class for TangoBK ledger errors."""
+
+
+class LedgerClosedError(LedgerError):
+    """The ledger has been closed and no longer accepts writes."""
+
+
+class LedgerFencedError(LedgerError):
+    """Another writer fenced this ledger (single-writer violation)."""

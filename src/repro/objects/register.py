@@ -1,0 +1,40 @@
+"""TangoRegister: the paper's Figure 3 object.
+
+"A linearizable, highly available and persistent register" in a handful
+of lines: the view is a single value, the apply upcall overwrites it,
+the mutator funnels writes through ``update_helper`` and the accessor
+synchronizes through ``query_helper``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.tango.object import TangoObject
+
+
+class TangoRegister(TangoObject):
+    """A single replicated value (any JSON-serializable object)."""
+
+    def __init__(self, runtime, oid: int, host_view: bool = True) -> None:
+        self._state: Any = None
+        super().__init__(runtime, oid, host_view=host_view)
+
+    def apply(self, payload: bytes, offset: int) -> None:
+        self._state = json.loads(payload.decode("utf-8"))
+
+    def get_checkpoint(self) -> bytes:
+        return json.dumps(self._state).encode("utf-8")
+
+    def load_checkpoint(self, state: bytes) -> None:
+        self._state = json.loads(state.decode("utf-8"))
+
+    def write(self, value: Any) -> None:
+        """Mutator: replace the register's value."""
+        self._update(json.dumps(value).encode("utf-8"))
+
+    def read(self) -> Any:
+        """Accessor: linearizable read of the current value."""
+        self._query()
+        return self._state

@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate for the performance model.
+
+The paper's evaluation ran on a 36-machine testbed; this package is the
+machinery we substitute for it (see DESIGN.md, "Substitutions"): a
+deterministic event loop (:class:`Simulator`), FIFO queueing servers
+(:class:`Server`) for NICs / SSDs / the sequencer, and network links.
+The model of the specific testbed lives in :mod:`repro.bench.perfmodel`.
+"""
+
+from repro.sim.engine import Simulator, Server, Process
+from repro.sim.network import Link, Nic
+
+__all__ = ["Simulator", "Server", "Process", "Link", "Nic"]

@@ -1,0 +1,161 @@
+"""A small, fast discrete-event simulation engine.
+
+Processes are plain Python generators that ``yield`` non-negative
+floats: "suspend me for this many simulated seconds". Composition uses
+``yield from``. Shared contention points (a NIC, an SSD, the sequencer)
+are :class:`Server` objects using *timeline reservation*: a FIFO server
+with capacity c is represented by the times its c slots become free, so
+acquiring it is an O(log c) heap operation that returns the exact
+wait-plus-service delay — no queue processes, no context switches.
+
+This is deliberately minimal (no interrupts, no preemption): every model
+in :mod:`repro.bench.perfmodel` is an open or closed queueing network of
+deterministic servers, which this engine simulates exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generator, List, Optional, Tuple
+
+#: A simulation process: a generator yielding delays in seconds.
+Process = Generator[float, None, None]
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Process]] = []
+        self._seq = itertools.count()
+        self._spawned = 0
+
+    def spawn(self, process: Process, delay: float = 0.0) -> None:
+        """Schedule *process* to start *delay* seconds from now."""
+        self._spawned += 1
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), process))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event heap drains or simulated *until* passes."""
+        while self._heap:
+            when, _seq, process = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            try:
+                delay = next(process)
+            except StopIteration:
+                continue
+            if delay < 0:
+                raise ValueError(f"process yielded negative delay {delay}")
+            heapq.heappush(
+                self._heap, (self.now + delay, next(self._seq), process)
+            )
+        if until is not None and self.now < until:
+            self.now = until
+
+
+class Server:
+    """A FIFO queueing server with fixed capacity.
+
+    ``acquire(service)`` reserves the earliest free slot and returns the
+    delay (queueing wait + service time) the calling process must yield.
+    Deterministic and exact for work-conserving FIFO service.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.name = name
+        self._free_at = [0.0] * capacity
+        heapq.heapify(self._free_at)
+        self.busy_time = 0.0
+        self.requests = 0
+
+    def acquire(self, service: float) -> float:
+        """Reserve the server for *service* seconds; returns total delay."""
+        if service < 0:
+            raise ValueError(f"negative service time {service}")
+        now = self._sim.now
+        start = max(heapq.heappop(self._free_at), now)
+        done = start + service
+        heapq.heappush(self._free_at, done)
+        self.busy_time += service
+        self.requests += 1
+        return done - now
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of *elapsed* time the server spent serving."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * len(self._free_at)))
+
+
+class Counter:
+    """Throughput/latency accumulator shared by model client processes.
+
+    Latencies are sampled into a reservoir (capacity bounded, uniform
+    over the run) so percentiles stay O(1) memory even for long
+    simulations.
+    """
+
+    _RESERVOIR = 4096
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.latency_sum = 0.0
+        self.extra: dict = {}
+        self._samples: List[float] = []
+        # Deterministic reservoir: a multiplicative-congruential index
+        # stream keeps runs reproducible without random module state.
+        self._rng_state = 0x9E3779B9
+
+    def _next_index(self, bound: int) -> int:
+        self._rng_state = (self._rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._rng_state % bound
+
+    def record(self, latency: float) -> None:
+        self.completed += 1
+        self.latency_sum += latency
+        if len(self._samples) < self._RESERVOIR:
+            self._samples.append(latency)
+        else:
+            slot = self._next_index(self.completed)
+            if slot < self._RESERVOIR:
+                self._samples[slot] = latency
+
+    def mean_latency(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.latency_sum / self.completed
+
+    def percentile_latency(self, pct: float) -> float:
+        """Approximate latency percentile (pct in [0, 100])."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(len(ordered) * pct / 100.0))
+        return ordered[index]
+
+    def throughput(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self.completed / elapsed
+
+
+def measure(
+    sim: Simulator,
+    duration: float,
+    warmup: float = 0.0,
+) -> Tuple[float, Callable[[], float]]:
+    """Run *sim* for warmup + duration; returns (elapsed, now_fn).
+
+    Helper for experiments: processes should begin recording into their
+    counters only after ``warmup`` (they can check ``sim.now``).
+    """
+    sim.run(until=warmup + duration)
+    return duration, lambda: sim.now

@@ -1,0 +1,75 @@
+"""Network elements: NICs and links.
+
+The paper's testbed: "36 8-core machines in two racks, with gigabit NICs
+on each node and 20 Gbps between the top-of-rack switches". The binding
+constraint everywhere in the evaluation is the per-host gigabit NIC —
+this is exactly the "playback bottleneck" of section 1 — so we model
+each host's NIC as a FIFO server whose service time is the wire time of
+the message, plus a fixed one-way propagation/stack latency per hop.
+The inter-rack backbone (20 Gbps for 18 hosts) is never the bottleneck
+and is folded into the propagation constant.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Server, Simulator
+
+#: Bits per byte on the wire including framing overhead (~8b/10b + IP/TCP
+#: headers amortized on 4KB messages).
+_WIRE_BITS_PER_BYTE = 8.8
+
+
+class Link:
+    """A point-to-point hop: serialization on a shared NIC + latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        latency: float,
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.server = Server(sim, capacity=1, name=name)
+
+    def transfer(self, nbytes: int) -> float:
+        """Delay to push *nbytes* through this hop (wait + wire + prop)."""
+        wire = nbytes * _WIRE_BITS_PER_BYTE / self.bandwidth_bps
+        return self.server.acquire(wire) + self.latency
+
+
+class Nic:
+    """A host's full-duplex NIC: independent TX and RX directions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 1e9,
+        latency: float = 25e-6,
+        name: str = "",
+    ) -> None:
+        self.tx = Link(sim, bandwidth_bps, latency, name=f"{name}.tx")
+        self.rx = Link(sim, bandwidth_bps, latency, name=f"{name}.rx")
+
+    def send(self, nbytes: int) -> float:
+        return self.tx.transfer(nbytes)
+
+    def recv(self, nbytes: int) -> float:
+        return self.rx.transfer(nbytes)
+
+
+def rpc_delay(
+    client: Nic, server: Nic, request_bytes: int, reply_bytes: int, service: float
+) -> float:
+    """One synchronous RPC: request out, service at the server, reply back.
+
+    Returns the total delay the calling process should yield. The
+    service component is *not* a shared server here — pass 0 and model
+    server CPU contention with an explicit :class:`Server` when the
+    server side is a bottleneck (e.g. the sequencer).
+    """
+    out = client.send(request_bytes) + server.recv(request_bytes)
+    back = server.send(reply_bytes) + client.recv(reply_bytes)
+    return out + service + back

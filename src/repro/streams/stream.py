@@ -1,0 +1,358 @@
+"""The client-side streaming library over CORFU.
+
+Paper section 5: "the library stores stream metadata as a linked list of
+offsets on the address space of the shared log, along with an iterator.
+When the application calls readnext on a stream, the library issues a
+conventional CORFU random read to the offset pointed to by the iterator,
+and moves the iterator forward."
+
+Bringing the linked list up to date (``sync``) contacts the sequencer
+for the stream's most recent offsets and then strides backward through
+the K-redundant backpointers, issuing roughly N/K reads for N new
+entries. Junk entries (filled holes) carry no backpointers, so when all
+pointers from an offset lead to junk the library "resorts to scanning
+the log backwards to find an earlier valid entry for the stream".
+
+The library fetches each log entry once and caches it, so an entry
+multiappended to S streams is read from the cluster a single time even
+though every one of the S streams delivers it (section 4.1: "under the
+hood, the streaming layer fetches the entry once from the shared log and
+caches it").
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.corfu.client import CorfuClient
+from repro.corfu.entry import NO_BACKPOINTER, LogEntry
+from repro.errors import TrimmedError, UnknownStreamError, UnwrittenError
+
+#: Default client-side entry cache capacity (entries, not bytes).
+DEFAULT_CACHE_ENTRIES = 131072
+
+#: Default hole timeout before filling, seconds (paper: "100ms by default").
+DEFAULT_HOLE_TIMEOUT = 0.1
+
+
+class _StreamState:
+    """Per-stream metadata: the linked list of offsets plus the iterator."""
+
+    def __init__(self, stream_id: int) -> None:
+        self.stream_id = stream_id
+        self.offsets: List[int] = []  # ascending offsets known to belong here
+        self.known: set = set()
+        self.read_ptr = 0  # index into `offsets` of the next entry to deliver
+
+    def highest_known(self) -> int:
+        return self.offsets[-1] if self.offsets else NO_BACKPOINTER
+
+    def extend(self, new_offsets: Sequence[int]) -> None:
+        """Add newly discovered offsets (all greater than the current max)."""
+        for off in sorted(new_offsets):
+            if off not in self.known:
+                self.offsets.append(off)
+                self.known.add(off)
+
+
+class StreamClient:
+    """Stream creation and playback over a CORFU client.
+
+    Args:
+        corfu: the underlying CORFU client library instance.
+        hole_handler: called with the offending offset when playback
+            encounters a hole. The default fills immediately (the
+            functional layer has no real clocks; the 100ms timeout of
+            the paper is modeled in the performance layer). Tests inject
+            their own handlers to exercise races between slow writers
+            and fillers.
+        cache_entries: capacity of the shared entry cache.
+    """
+
+    def __init__(
+        self,
+        corfu: CorfuClient,
+        hole_handler: Optional[Callable[[int], None]] = None,
+        cache_entries: int = DEFAULT_CACHE_ENTRIES,
+    ) -> None:
+        self._corfu = corfu
+        self._streams: Dict[int, _StreamState] = {}
+        self._cache: "OrderedDict[int, LogEntry]" = OrderedDict()
+        self._cache_entries = cache_entries
+        self._hole_handler = hole_handler or self._default_hole_handler
+        # Serializes iterator/cache mutation across application threads
+        # (the owning runtime also holds its own coarser lock during
+        # playback; this one covers direct uses like indexed-map reads).
+        self._lock = threading.RLock()
+        # Counters for tests / the performance model.
+        self.sync_reads = 0
+        self.backward_scans = 0
+
+    # -- stream lifecycle -----------------------------------------------------
+
+    def open_stream(self, stream_id: int) -> None:
+        """Start tracking *stream_id* (idempotent)."""
+        if stream_id not in self._streams:
+            self._streams[stream_id] = _StreamState(stream_id)
+
+    def is_open(self, stream_id: int) -> bool:
+        return stream_id in self._streams
+
+    def open_streams(self) -> Tuple[int, ...]:
+        return tuple(self._streams)
+
+    def _state(self, stream_id: int) -> _StreamState:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise UnknownStreamError(stream_id) from None
+
+    # -- append path ------------------------------------------------------------
+
+    def append(self, payload: bytes, stream_ids: Sequence[int]) -> int:
+        """Multiappend *payload* to every stream in *stream_ids*.
+
+        A client does not need to play (or even have opened) a stream to
+        append to it — this is what makes remote-write transactions work
+        (section 4.1, case A).
+        """
+        return self._corfu.append(payload, stream_ids)
+
+    # -- entry fetch with hole handling ------------------------------------------
+
+    def _default_hole_handler(self, offset: int) -> None:
+        self._corfu.fill(offset)
+
+    def fetch(self, offset: int) -> LogEntry:
+        """Read (and cache) the entry at *offset*, patching holes.
+
+        Returns a junk entry for trimmed offsets so that walkers treat
+        reclaimed space like filled holes.
+        """
+        with self._lock:
+            cached = self._cache.get(offset)
+            if cached is not None:
+                self._cache.move_to_end(offset)
+                return cached
+        try:
+            entry = self._corfu.read(offset)
+        except UnwrittenError:
+            self._hole_handler(offset)
+            try:
+                entry = self._corfu.read(offset)
+            except UnwrittenError:
+                # Handler chose not to fill (e.g. still inside the
+                # timeout window); surface the hole to the caller.
+                raise
+        except TrimmedError:
+            entry = LogEntry.junk()
+        with self._lock:
+            self._cache[offset] = entry
+            if len(self._cache) > self._cache_entries:
+                self._cache.popitem(last=False)
+        return entry
+
+    # -- sync: bring the linked list up to date ------------------------------------
+
+    def sync(self, stream_id: int) -> int:
+        """Update the stream's linked list; return its last offset.
+
+        One sequencer query plus ~N/K reads for N newly discovered
+        entries. Returns :data:`NO_BACKPOINTER` for an empty stream.
+        Applications must call this before ``readnext`` to get
+        linearizable semantics (section 5).
+        """
+        _tail, last_offsets = self._corfu.query_streams((stream_id,))
+        return self._sync_from(stream_id, last_offsets.get(stream_id, ()))
+
+    def sync_many(self, stream_ids: Sequence[int]) -> Dict[int, int]:
+        """Sync several streams with a single sequencer query.
+
+        Returns each stream's last known offset after the sync. The
+        Tango runtime uses this before a merged playback pass so that
+        multi-stream commit records find every involved hosted stream
+        up to date.
+        """
+        _tail, last_offsets = self._corfu.query_streams(tuple(stream_ids))
+        return {
+            sid: self._sync_from(sid, last_offsets.get(sid, ()))
+            for sid in stream_ids
+        }
+
+    def _sync_from(self, stream_id: int, recent_offsets: Sequence[int]) -> int:
+        """Walk backpointers from the sequencer's last-K offsets."""
+        with self._lock:
+            return self._sync_from_locked(stream_id, recent_offsets)
+
+    def _sync_from_locked(
+        self, stream_id: int, recent_offsets: Sequence[int]
+    ) -> int:
+        state = self._state(stream_id)
+        recents = [o for o in recent_offsets if o != NO_BACKPOINTER]
+        if not recents:
+            return state.highest_known()
+        floor = state.highest_known()
+        discovered: set = set()
+        # Seed the walk with the sequencer's last-K offsets; they are the
+        # newest entries of the stream, newest first.
+        for off in recents:
+            if off > floor:
+                discovered.add(off)
+        cursor = min(recents)
+        if cursor <= floor:
+            cursor = None
+        while cursor is not None and cursor > floor:
+            entry = self._try_fetch(cursor)
+            header = entry.header_for(stream_id) if entry is not None else None
+            if entry is None or entry.is_junk or header is None:
+                # Filled hole (or an offset we cannot interpret): fall
+                # back to a linear backward scan for the previous valid
+                # entry of this stream.
+                discovered.discard(cursor)
+                cursor = self._scan_backward(stream_id, cursor - 1, floor)
+                if cursor is not None:
+                    discovered.add(cursor)
+                continue
+            self.sync_reads += 1
+            discovered.add(cursor)
+            ptrs = [
+                p
+                for p in header.backpointers
+                if p != NO_BACKPOINTER and p > floor and p not in discovered
+            ]
+            if not ptrs:
+                # Check whether the chain genuinely ends here or the
+                # pointers merely overflowed/landed on known ground.
+                prev = [p for p in header.backpointers if p != NO_BACKPOINTER]
+                if prev and min(prev) > floor and min(prev) not in discovered:
+                    cursor = min(prev)
+                else:
+                    cursor = None
+                continue
+            discovered.update(ptrs)
+            cursor = min(ptrs)
+        state.extend(discovered)
+        return state.highest_known()
+
+    def _try_fetch(self, offset: int) -> Optional[LogEntry]:
+        """Fetch, mapping unresolvable holes to None."""
+        try:
+            return self.fetch(offset)
+        except UnwrittenError:
+            return None
+
+    def _scan_backward(
+        self, stream_id: int, start: int, floor: int
+    ) -> Optional[int]:
+        """Linear backward scan for the previous valid entry of a stream.
+
+        Used when backpointers dead-end in junk (section 5: "a client in
+        this situation resorts to scanning the log backwards to find an
+        earlier valid entry for the stream").
+        """
+        for offset in range(start, floor, -1):
+            self.backward_scans += 1
+            entry = self._try_fetch(offset)
+            if entry is None or entry.is_junk:
+                continue
+            if entry.header_for(stream_id) is not None:
+                return offset
+        return None
+
+    # -- playback ---------------------------------------------------------------
+
+    def readnext(
+        self, stream_id: int, upto: Optional[int] = None
+    ) -> Optional[Tuple[int, LogEntry]]:
+        """Deliver the stream's next entry, or None if caught up.
+
+        With *upto* set, entries at offsets greater than *upto* are held
+        back; the Tango runtime uses this to play "all the streams
+        involved until position X" when it meets a multi-stream commit
+        record (section 4.1), and to build historical views from a
+        prefix of the log (section 3.1, "History").
+        """
+        with self._lock:
+            state = self._state(stream_id)
+            if state.read_ptr >= len(state.offsets):
+                return None
+            offset = state.offsets[state.read_ptr]
+            if upto is not None and offset > upto:
+                return None
+            entry = self.fetch(offset)
+            state.read_ptr += 1
+            return offset, entry
+
+    def peek_offset(self, stream_id: int) -> Optional[int]:
+        """Offset of the next undelivered entry, or None if caught up.
+
+        Does not move the iterator; the runtime's merged playback uses
+        this to pick the globally smallest next offset across streams.
+        """
+        state = self._state(stream_id)
+        if state.read_ptr >= len(state.offsets):
+            return None
+        return state.offsets[state.read_ptr]
+
+    def seek(self, stream_id: int, after_offset: int) -> None:
+        """Move the iterator past every offset <= *after_offset*.
+
+        Used after loading a checkpoint: playback resumes at the first
+        entry the checkpoint does not cover.
+        """
+        state = self._state(stream_id)
+        ptr = 0
+        while ptr < len(state.offsets) and state.offsets[ptr] <= after_offset:
+            ptr += 1
+        state.read_ptr = ptr
+
+    def known_offsets(self, stream_id: int) -> Tuple[int, ...]:
+        """The stream's current linked list (ascending), without fetching."""
+        return tuple(self._state(stream_id).offsets)
+
+    def lookahead(self, stream_id: int, after_offset: int):
+        """Yield (offset, entry) pairs beyond *after_offset* without
+        moving the iterator.
+
+        Consuming clients use this to hunt for a decision record further
+        down a stream while replaying history (the decision record of a
+        transaction always follows its commit record in the same
+        streams).
+        """
+        state = self._state(stream_id)
+        for offset in state.offsets:
+            if offset <= after_offset:
+                continue
+            yield offset, self.fetch(offset)
+
+    def position(self, stream_id: int) -> int:
+        """Offset of the last delivered entry (NO_BACKPOINTER before any)."""
+        state = self._state(stream_id)
+        if state.read_ptr == 0:
+            return NO_BACKPOINTER
+        return state.offsets[state.read_ptr - 1]
+
+    def pending(self, stream_id: int) -> int:
+        """Entries discovered by sync but not yet delivered."""
+        state = self._state(stream_id)
+        return len(state.offsets) - state.read_ptr
+
+    def reset(self, stream_id: int) -> None:
+        """Rewind the iterator to the beginning of the stream.
+
+        Combined with ``readnext(upto=...)`` this instantiates a view
+        from a prefix of the history (time travel, section 3.1).
+        """
+        self._state(stream_id).read_ptr = 0
+
+    # -- passthroughs -------------------------------------------------------------
+
+    def check_tail(self) -> int:
+        """Current tail of the underlying shared log (fast check)."""
+        return self._corfu.check(fast=True)
+
+    @property
+    def corfu(self) -> CorfuClient:
+        return self._corfu

@@ -1,0 +1,38 @@
+"""The Tango runtime: replicated data structures over the shared log.
+
+The runtime provides the paper's two helper calls (section 3.1):
+
+- ``update_helper`` — "accepts an opaque buffer from the object and
+  appends it to the shared log";
+- ``query_helper`` — "reads new entries from the shared log and provides
+  them to the object via an apply upcall";
+
+plus transactions (``begin_tx``/``end_tx``, section 3.2/4.1),
+checkpoints and ``forget``-driven garbage collection (section 3.1), and
+the name directory (section 3.2, "Naming").
+"""
+
+from repro.tango.runtime import TangoRuntime
+from repro.tango.object import TangoObject
+from repro.tango.records import (
+    CheckpointRecord,
+    CommitRecord,
+    DecisionRecord,
+    UpdateRecord,
+    decode_records,
+    encode_records,
+)
+from repro.tango.versioning import VersionTable, NO_VERSION
+
+__all__ = [
+    "TangoRuntime",
+    "TangoObject",
+    "UpdateRecord",
+    "CommitRecord",
+    "DecisionRecord",
+    "CheckpointRecord",
+    "encode_records",
+    "decode_records",
+    "VersionTable",
+    "NO_VERSION",
+]

@@ -1,0 +1,116 @@
+"""The Tango object base class.
+
+Paper section 3.1: a Tango object has three components — an in-memory
+*view*, a mandatory *apply* upcall that is the only code allowed to
+mutate the view, and an external interface of mutators and accessors
+that delegate to the runtime's ``update_helper`` and ``query_helper``.
+
+Subclasses implement:
+
+- :meth:`apply` (mandatory) — change the view from one update record;
+- :meth:`get_checkpoint` / :meth:`load_checkpoint` (optional) — opaque
+  snapshot support for the ``checkpoint``/``forget`` machinery;
+- class attribute :attr:`needs_decision_record` — the paper's static
+  marking for objects that may appear in a transaction's read set while
+  some client hosts the write set but not this object (section 4.1).
+
+A ``TangoObject`` can also be opened *without a local view*
+(``host_view=False``): mutators still work (remote writes, section 4.1
+case A — e.g. a producer appending to a queue it never reads) but
+accessors raise, since there is no view to read.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TangoError
+
+
+class TangoObject:
+    """Base class for all replicated data structures."""
+
+    #: Paper section 4.1: mark objects whose transactions need decision
+    #: records because some client hosts a write-set object but not this
+    #: (read-set) object.
+    needs_decision_record = False
+
+    def __init__(self, runtime, oid: int, host_view: bool = True) -> None:
+        self.oid = oid
+        self._runtime = runtime
+        self._hosted = host_view
+        if host_view:
+            runtime.register_object(self)
+
+    # -- upcalls (implemented by subclasses) -----------------------------------
+
+    def apply(self, payload: bytes, offset: int) -> None:
+        """Mandatory upcall: fold one update record into the view.
+
+        "The view must be modified only by the Tango runtime via this
+        apply upcall, and not by application threads executing arbitrary
+        methods of the object."
+
+        *offset* is the position in the shared log at which the update
+        became visible; objects may store it instead of the value to act
+        as indices over log-structured storage (section 3.1,
+        "Durability").
+        """
+        raise NotImplementedError
+
+    def get_checkpoint(self) -> bytes:
+        """Optional upcall: serialize the view for a checkpoint record."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement checkpoints"
+        )
+
+    def load_checkpoint(self, state: bytes) -> None:
+        """Optional upcall: replace the view with checkpointed state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement checkpoints"
+        )
+
+    # -- helpers for subclasses --------------------------------------------------
+
+    @property
+    def is_hosted(self) -> bool:
+        """True if this client maintains a local view of the object."""
+        return self._hosted
+
+    def _update(self, payload: bytes, key: Optional[bytes] = None) -> None:
+        """Mutator plumbing: send an opaque update record to the runtime."""
+        self._runtime.update_helper(self.oid, payload, key=key)
+
+    def sync_to(self, offset: int) -> None:
+        """Play this view forward only up to log position *offset*.
+
+        Time travel (section 3.1, "History"): a fresh view synced to a
+        prefix of the history is the object's state as of that offset.
+        Inspect it with :meth:`get_checkpoint` (calling accessors would
+        re-sync the view to the current tail). Syncing several objects
+        to the same offset yields a consistent cross-object snapshot
+        (section 3.2) — the basis for coordinated rollback and remote
+        mirroring.
+        """
+        if not self._hosted:
+            raise TangoError(
+                f"object {self.oid} has no local view on this client"
+            )
+        self._runtime.query_helper(self.oid, upto=offset)
+
+    def _query(self, key: Optional[bytes] = None) -> None:
+        """Accessor plumbing: synchronize the view (or record a TX read).
+
+        Accessors call this first and then return "an arbitrary function
+        over the state of the object".
+        """
+        if not self._hosted:
+            raise TangoError(
+                f"object {self.oid} has no local view on this client; "
+                f"accessors require host_view=True"
+            )
+        self._runtime.query_helper(self.oid, key=key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "hosted" if self._hosted else "write-only"
+        return f"<{type(self).__name__} oid={self.oid} {mode}>"

@@ -1,0 +1,305 @@
+"""Record types carried in log-entry payloads.
+
+Every entry payload appended by the Tango runtime is an encoded batch of
+records (the paper batches 4 commit records per 4KB entry). Four record
+kinds exist:
+
+- :class:`UpdateRecord` — one mutator invocation: the opaque buffer the
+  object handed to ``update_helper``, plus the optional fine-grained
+  versioning key. A non-zero ``tx_id`` marks the update *speculative*:
+  written ahead of its transaction's commit record and "not to be made
+  visible by other clients playing the log until the commit record is
+  encountered" (section 3.2).
+- :class:`CommitRecord` — a transaction's atomic commit point: the read
+  set with versions, the write-set object ids, and any inlined updates.
+- :class:`DecisionRecord` — the outcome appended by the generating
+  client when some consumer hosts a write-set object but not the whole
+  read set (section 4.1, case C).
+- :class:`CheckpointRecord` — an object-provided snapshot of a view,
+  with the version state needed for conflict checks after a reload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.util.encoding import (
+    decode_bytes,
+    encode_bytes,
+    pack_u16,
+    pack_u32,
+    pack_u64,
+    unpack_u16,
+    unpack_u32,
+    unpack_u64,
+)
+
+_KIND_UPDATE = 1
+_KIND_COMMIT = 2
+_KIND_DECISION = 3
+_KIND_CHECKPOINT = 4
+
+#: Sentinel version for "never modified" (encodes as all-ones u64).
+NO_VERSION = -1
+_VERSION_NONE = 0xFFFFFFFFFFFFFFFF
+
+#: tx_id value meaning "not part of any transaction".
+NO_TX = 0
+
+
+def _pack_version(buf: bytearray, version: int) -> None:
+    pack_u64(buf, _VERSION_NONE if version == NO_VERSION else version)
+
+
+def _unpack_version(buf: bytes, off: int) -> Tuple[int, int]:
+    raw, off = unpack_u64(buf, off)
+    return (NO_VERSION if raw == _VERSION_NONE else raw), off
+
+
+def _pack_opt_bytes(buf: bytearray, data: Optional[bytes]) -> None:
+    if data is None:
+        pack_u16(buf, 0)
+    else:
+        pack_u16(buf, 1)
+        encode_bytes(buf, data)
+
+
+def _unpack_opt_bytes(buf: bytes, off: int) -> Tuple[Optional[bytes], int]:
+    flag, off = unpack_u16(buf, off)
+    if not flag:
+        return None, off
+    return decode_bytes(buf, off)
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One mutator invocation on one object."""
+
+    oid: int
+    payload: bytes
+    key: Optional[bytes] = None
+    tx_id: int = NO_TX
+
+    @property
+    def is_speculative(self) -> bool:
+        return self.tx_id != NO_TX
+
+    def _encode_body(self, buf: bytearray) -> None:
+        pack_u32(buf, self.oid)
+        pack_u64(buf, self.tx_id)
+        _pack_opt_bytes(buf, self.key)
+        encode_bytes(buf, self.payload)
+
+    @staticmethod
+    def _decode_body(buf: bytes, off: int) -> Tuple["UpdateRecord", int]:
+        oid, off = unpack_u32(buf, off)
+        tx_id, off = unpack_u64(buf, off)
+        key, off = _unpack_opt_bytes(buf, off)
+        payload, off = decode_bytes(buf, off)
+        return UpdateRecord(oid, payload, key, tx_id), off
+
+
+@dataclass(frozen=True)
+class ReadSetEntry:
+    """One read performed by a transaction: (object, optional key, version).
+
+    The version is "the last offset in the shared log that modified the
+    object" (or the key within the object, under fine-grained
+    versioning) at the time of the read.
+    """
+
+    oid: int
+    key: Optional[bytes]
+    version: int
+
+    def _encode_body(self, buf: bytearray) -> None:
+        pack_u32(buf, self.oid)
+        _pack_opt_bytes(buf, self.key)
+        _pack_version(buf, self.version)
+
+    @staticmethod
+    def _decode_body(buf: bytes, off: int) -> Tuple["ReadSetEntry", int]:
+        oid, off = unpack_u32(buf, off)
+        key, off = _unpack_opt_bytes(buf, off)
+        version, off = _unpack_version(buf, off)
+        return ReadSetEntry(oid, key, version), off
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """A transaction's commit point in the total order."""
+
+    tx_id: int
+    read_set: Tuple[ReadSetEntry, ...]
+    write_oids: Tuple[int, ...]
+    inline_updates: Tuple[UpdateRecord, ...] = ()
+    #: True when the generating client will append a decision record
+    #: because some write-set object is marked as requiring one.
+    decision_expected: bool = False
+    #: True for the "dummy commit record designed to abort" that any
+    #: client may append to terminate an orphaned transaction.
+    forced_abort: bool = False
+
+    def read_oids(self) -> Tuple[int, ...]:
+        seen = []
+        for entry in self.read_set:
+            if entry.oid not in seen:
+                seen.append(entry.oid)
+        return tuple(seen)
+
+    def _encode_body(self, buf: bytearray) -> None:
+        pack_u64(buf, self.tx_id)
+        flags = (1 if self.decision_expected else 0) | (
+            2 if self.forced_abort else 0
+        )
+        pack_u16(buf, flags)
+        pack_u16(buf, len(self.read_set))
+        for entry in self.read_set:
+            entry._encode_body(buf)
+        pack_u16(buf, len(self.write_oids))
+        for oid in self.write_oids:
+            pack_u32(buf, oid)
+        pack_u16(buf, len(self.inline_updates))
+        for upd in self.inline_updates:
+            upd._encode_body(buf)
+
+    @staticmethod
+    def _decode_body(buf: bytes, off: int) -> Tuple["CommitRecord", int]:
+        tx_id, off = unpack_u64(buf, off)
+        flags, off = unpack_u16(buf, off)
+        nreads, off = unpack_u16(buf, off)
+        reads = []
+        for _ in range(nreads):
+            entry, off = ReadSetEntry._decode_body(buf, off)
+            reads.append(entry)
+        nwrites, off = unpack_u16(buf, off)
+        writes = []
+        for _ in range(nwrites):
+            oid, off = unpack_u32(buf, off)
+            writes.append(oid)
+        nupd, off = unpack_u16(buf, off)
+        updates = []
+        for _ in range(nupd):
+            upd, off = UpdateRecord._decode_body(buf, off)
+            updates.append(upd)
+        record = CommitRecord(
+            tx_id,
+            tuple(reads),
+            tuple(writes),
+            tuple(updates),
+            decision_expected=bool(flags & 1),
+            forced_abort=bool(flags & 2),
+        )
+        return record, off
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """The generating client's commit/abort verdict for one transaction."""
+
+    tx_id: int
+    committed: bool
+
+    def _encode_body(self, buf: bytearray) -> None:
+        pack_u64(buf, self.tx_id)
+        pack_u16(buf, 1 if self.committed else 0)
+
+    @staticmethod
+    def _decode_body(buf: bytes, off: int) -> Tuple["DecisionRecord", int]:
+        tx_id, off = unpack_u64(buf, off)
+        committed, off = unpack_u16(buf, off)
+        return DecisionRecord(tx_id, bool(committed)), off
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """An object snapshot stored in the log (section 3.1, "History").
+
+    ``covers_offset`` is the highest log offset whose effects are folded
+    into ``state``; a fresh view loads the state and then plays the
+    stream from the first entry above ``covers_offset``. The version
+    tables travel with the snapshot so that transaction conflict checks
+    remain correct after a reload.
+    """
+
+    oid: int
+    covers_offset: int
+    object_version: int
+    key_versions: Tuple[Tuple[bytes, int], ...]
+    state: bytes
+    #: Last offset of an *unkeyed* modification, carried exactly so that
+    #: a reloaded view makes bit-identical commit/abort decisions.
+    unkeyed_version: int = NO_VERSION
+
+    def _encode_body(self, buf: bytearray) -> None:
+        pack_u32(buf, self.oid)
+        _pack_version(buf, self.covers_offset)
+        _pack_version(buf, self.object_version)
+        _pack_version(buf, self.unkeyed_version)
+        pack_u32(buf, len(self.key_versions))
+        for key, version in self.key_versions:
+            encode_bytes(buf, key)
+            _pack_version(buf, version)
+        encode_bytes(buf, self.state)
+
+    @staticmethod
+    def _decode_body(buf: bytes, off: int) -> Tuple["CheckpointRecord", int]:
+        oid, off = unpack_u32(buf, off)
+        covers, off = _unpack_version(buf, off)
+        obj_version, off = _unpack_version(buf, off)
+        unkeyed, off = _unpack_version(buf, off)
+        nkeys, off = unpack_u32(buf, off)
+        keys = []
+        for _ in range(nkeys):
+            key, off = decode_bytes(buf, off)
+            version, off = _unpack_version(buf, off)
+            keys.append((key, version))
+        state, off = decode_bytes(buf, off)
+        record = CheckpointRecord(
+            oid, covers, obj_version, tuple(keys), state, unkeyed_version=unkeyed
+        )
+        return record, off
+
+
+Record = Union[UpdateRecord, CommitRecord, DecisionRecord, CheckpointRecord]
+
+_KIND_OF = {
+    UpdateRecord: _KIND_UPDATE,
+    CommitRecord: _KIND_COMMIT,
+    DecisionRecord: _KIND_DECISION,
+    CheckpointRecord: _KIND_CHECKPOINT,
+}
+
+_DECODER_OF = {
+    _KIND_UPDATE: UpdateRecord._decode_body,
+    _KIND_COMMIT: CommitRecord._decode_body,
+    _KIND_DECISION: DecisionRecord._decode_body,
+    _KIND_CHECKPOINT: CheckpointRecord._decode_body,
+}
+
+
+def encode_records(records: List[Record]) -> bytes:
+    """Serialize a batch of records into one entry payload."""
+    buf = bytearray()
+    pack_u16(buf, len(records))
+    for record in records:
+        pack_u16(buf, _KIND_OF[type(record)])
+        record._encode_body(buf)
+    return bytes(buf)
+
+
+def decode_records(payload: bytes) -> List[Record]:
+    """Deserialize an entry payload back into its record batch."""
+    if not payload:
+        return []
+    count, off = unpack_u16(payload, 0)
+    records: List[Record] = []
+    for _ in range(count):
+        kind, off = unpack_u16(payload, off)
+        decoder = _DECODER_OF.get(kind)
+        if decoder is None:
+            raise ValueError(f"unknown record kind {kind}")
+        record, off = decoder(payload, off)
+        records.append(record)
+    return records

@@ -1,0 +1,1165 @@
+"""The Tango runtime.
+
+One :class:`TangoRuntime` instance corresponds to one *client* in the
+paper: an application server hosting local views of some subset of the
+system's objects. Runtimes never communicate with each other directly;
+all interaction flows through the shared log (section 3).
+
+Core mechanics implemented here:
+
+- **state machine replication** (section 3.1): mutators funnel opaque
+  update records through ``update_helper``; accessors call
+  ``query_helper``, which places a marker at the current tail of the
+  object's stream and plays the view forward to it, giving
+  linearizability.
+- **merged playback**: the runtime plays all hosted streams in global
+  offset order, so when a multi-object commit record is encountered at
+  position X, every involved hosted stream has already been played to X
+  — the "consistent snapshot of all the objects touched by the
+  transaction as of X" of section 4.1.
+- **transactions** (sections 3.2, 4.1): optimistic concurrency control
+  with speculative updates, commit records carrying versioned read
+  sets, deterministic commit/abort decisions at every consumer, and
+  decision records for consumers that host a write-set object but not
+  the whole read set.
+- **checkpoints and forget** (section 3.1): object-provided snapshots
+  stored in the log, and GC driven by per-object forget offsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import (
+    NestedTransactionError,
+    NoActiveTransaction,
+    ObjectExistsError,
+    RemoteReadError,
+    TangoError,
+    TransactionAborted,
+    UnknownObjectError,
+)
+from repro.streams.stream import StreamClient
+from repro.tango.records import (
+    NO_TX,
+    NO_VERSION,
+    CheckpointRecord,
+    CommitRecord,
+    DecisionRecord,
+    Record,
+    UpdateRecord,
+    decode_records,
+    encode_records,
+)
+from repro.tango.transaction import PendingTx, TxContext
+from repro.tango.versioning import VersionTable
+
+#: How many no-progress sync+play rounds end_tx tolerates while waiting
+#: for another transaction's decision record before giving up. In the
+#: in-process deployment a missing decision means its generator crashed
+#: mid-protocol; the application resolves via publish_decision.
+_MAX_DECISION_WAIT_ROUNDS = 3
+
+
+class TangoRuntime:
+    """Per-client runtime multiplexing Tango objects over one shared log.
+
+    Args:
+        streams: the stream client for this client's log connection.
+            Passing a :class:`~repro.corfu.cluster.CorfuCluster` is also
+            accepted as a convenience (a fresh client + stream client is
+            created).
+        client_id: unique 31-bit client identifier used to mint
+            transaction ids; random when omitted.
+        name: diagnostic label.
+    """
+
+    def __init__(
+        self,
+        streams,
+        client_id: Optional[int] = None,
+        name: str = "client",
+    ) -> None:
+        if not isinstance(streams, StreamClient):
+            # Convenience: accept a CorfuCluster directly.
+            streams = StreamClient(streams.client())
+        self._streams = streams
+        self.name = name
+        if client_id is None:
+            client_id = random.getrandbits(31) | 1
+        self._client_id = client_id & 0x7FFFFFFF
+        self._tx_seq = itertools.count(1)
+        self._tls = threading.local()
+
+        self._objects: Dict[int, object] = {}  # oid -> TangoObject
+        self._versions = VersionTable()
+        # Serializes playback and registration across application
+        # threads. Transaction contexts and batch scopes are
+        # thread-local (the paper's model: many application threads per
+        # client, one runtime); the lock makes the shared view/version
+        # state safe under them. Reentrant because end_tx plays the log
+        # while already holding it.
+        self._play_lock = threading.RLock()
+        # Consuming-side transaction state.
+        self._pending: Dict[int, PendingTx] = {}
+        self._decided: Dict[int, bool] = {}
+        self._awaiting: Dict[int, PendingTx] = {}
+        self._blocked_streams: Set[int] = set()
+        self._deferred: List[Tuple[int, object, Tuple[int, ...]]] = []
+        # Commit records we generated with decision_expected, retained so
+        # the decision can be (re)published after a crash of a peer.
+        self._own_commits: Dict[int, Tuple[int, CommitRecord]] = {}
+        # (offset, record) for every commit this client has decided, so
+        # that publish_decision can reconstruct the decision's streams.
+        self._pending_records: Dict[int, Tuple[int, CommitRecord]] = {}
+        # Highest log offset processed by merged playback.
+        self._watermark = NO_VERSION
+        # Optional dynamic decision-record scheme (section 4.1).
+        self._hosting_registry = None
+
+        # Statistics (read by tests and the benchmark harness).
+        self.stats = {
+            "commits": 0,
+            "aborts": 0,
+            "applied_updates": 0,
+            "decisions_published": 0,
+            "read_only_commits": 0,
+        }
+        # Observability hooks: event name -> callbacks (see subscribe).
+        self._subscribers: Dict[str, List] = {}
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    _EVENTS = ("apply", "commit", "abort", "decision", "checkpoint")
+
+    def subscribe(self, event: str, callback) -> None:
+        """Register an observability callback.
+
+        Events and their callback payloads (a single dict argument):
+
+        - ``apply``   — ``{oid, offset, key}``: an update reached a view;
+        - ``commit`` / ``abort`` — ``{tx_id, offset}``: a transaction this
+          client *decided* (its own or a consumed one);
+        - ``decision`` — ``{tx_id, committed}``: a decision record this
+          client published;
+        - ``checkpoint`` — ``{oid, offset, covers}``.
+
+        Callbacks run synchronously on the playback path; keep them
+        cheap (metrics counters, trace buffers). Exceptions propagate —
+        a broken metrics hook should fail loudly in development, and
+        production hooks should guard themselves.
+        """
+        if event not in self._EVENTS:
+            raise ValueError(
+                f"unknown event {event!r}; expected one of {self._EVENTS}"
+            )
+        self._subscribers.setdefault(event, []).append(callback)
+
+    def _emit(self, event: str, payload: dict) -> None:
+        for callback in self._subscribers.get(event, ()):
+            callback(payload)
+
+    # ------------------------------------------------------------------
+    # object registration
+    # ------------------------------------------------------------------
+
+    def register_object(self, obj, from_checkpoint: bool = True) -> None:
+        """Host a local view of *obj*, catching it up with the log.
+
+        If the object's stream contains a checkpoint record, the newest
+        one is loaded and playback resumes above its cover point —
+        mandatory when the log below has been trimmed. A stream
+        registered after the runtime has already played other streams is
+        caught up to the current watermark before joining merged
+        playback.
+        """
+        oid = obj.oid
+        with self._play_lock:
+            if oid in self._objects:
+                raise ObjectExistsError(f"object {oid} already registered")
+            if self._awaiting:
+                raise TangoError(
+                    "cannot register a new object while transactions are "
+                    "awaiting decision records; retry after playback drains"
+                )
+            self._objects[oid] = obj
+            self._streams.open_stream(oid)
+            self._streams.sync(oid)
+            if from_checkpoint:
+                self._maybe_load_checkpoint(oid, obj)
+            if self._watermark != NO_VERSION:
+                self._catch_up(oid, self._watermark)
+
+    def deregister_object(self, oid: int) -> None:
+        """Drop the local view of *oid* (the log is unaffected).
+
+        The stream iterator rewinds so that a future registration
+        replays the stream from the start (or its newest checkpoint)
+        into the fresh view.
+        """
+        with self._play_lock:
+            self._objects.pop(oid, None)
+            self._versions.drop_object(oid)
+            if self._streams.is_open(oid):
+                self._streams.reset(oid)
+
+    def is_hosted(self, oid: int) -> bool:
+        return oid in self._objects
+
+    def get_object(self, oid: int):
+        """The hosted view of *oid*, or None."""
+        return self._objects.get(oid)
+
+    def hosted_oids(self) -> Tuple[int, ...]:
+        return tuple(self._objects)
+
+    def _maybe_load_checkpoint(self, oid: int, obj) -> None:
+        """Find and load the newest checkpoint record in *oid*'s stream."""
+        offsets = self._streams.known_offsets(oid)
+        for offset in reversed(offsets):
+            entry = self._streams.fetch(offset)
+            if entry.is_junk:
+                continue
+            for record in decode_records(entry.payload):
+                if isinstance(record, CheckpointRecord) and record.oid == oid:
+                    obj.load_checkpoint(record.state)
+                    self._versions.load_checkpoint(
+                        oid,
+                        record.object_version,
+                        record.key_versions,
+                        record.unkeyed_version,
+                    )
+                    self._streams.seek(oid, record.covers_offset)
+                    return
+
+    # ------------------------------------------------------------------
+    # the paper's helper API (Figure 3)
+    # ------------------------------------------------------------------
+
+    def update_helper(
+        self, oid: int, payload: bytes, key: Optional[bytes] = None
+    ) -> Optional[int]:
+        """Append an opaque update record for *oid* (the mutator path).
+
+        Outside a transaction the record is appended to the object's
+        stream immediately and the log offset is returned. Inside a
+        transaction the update is buffered in the context and ``None``
+        is returned; it reaches the log at ``EndTX``. Inside a
+        :meth:`batch` scope the record is coalesced with its neighbours
+        into shared log entries (section 6 batches 4 records per 4KB
+        entry) and ``None`` is returned until the batch flushes.
+
+        Writing to an object with no local view is allowed — this is a
+        remote write (section 4.1, case A).
+        """
+        ctx = self._current_tx()
+        if ctx is not None:
+            ctx.record_update(oid, payload, key)
+            return None
+        record = UpdateRecord(oid, payload, key, tx_id=NO_TX)
+        batch = getattr(self._tls, "batch", None)
+        if batch is not None:
+            batch.add(record)
+            return None
+        return self._streams.append(encode_records([record]), (oid,))
+
+    def batch(self, size: int = 4):
+        """Group-commit scope: coalesce updates into shared log entries.
+
+        Section 6: "We use 4KB entries in the CORFU log, with a batch
+        size of 4 at each client." Each flushed entry is multiappended
+        to the union of its records' streams, so every object's stream
+        still sees every one of its updates, in order. Accessors called
+        inside the scope flush first, preserving read-your-writes.
+
+        ::
+
+            with runtime.batch(size=4):
+                for item in items:
+                    tango_list.append(item)
+        """
+        return _BatchScope(self, size)
+
+    def _flush_batch(self) -> None:
+        batch = getattr(self._tls, "batch", None)
+        if batch is not None:
+            batch.flush()
+
+    def query_helper(
+        self, oid: int, key: Optional[bytes] = None, upto: Optional[int] = None
+    ) -> None:
+        """Synchronize the view of *oid* (the accessor path).
+
+        Outside a transaction: places a marker at the stream's current
+        tail and plays all hosted streams forward to it (linearizable
+        read). With *upto*, playback stops at that log offset instead,
+        which instantiates a historical view (section 3.1, "History").
+
+        Inside a transaction: performs no log I/O; records the read (and
+        its current version) in the transaction's read set. Reading an
+        object with no local view raises
+        :class:`~repro.errors.RemoteReadError` (section 4.1, case D).
+        """
+        ctx = self._current_tx()
+        if ctx is not None:
+            if oid not in self._objects:
+                raise RemoteReadError(oid)
+            ctx.record_read(oid, key, self._versions.get(oid, key))
+            return
+        if oid not in self._objects:
+            raise UnknownObjectError(f"object {oid} has no local view")
+        # Read-your-writes inside a batch scope: flush buffered updates
+        # before placing the read marker.
+        self._flush_batch()
+        with self._play_lock:
+            markers = self._streams.sync_many(self.hosted_oids())
+            marker = markers.get(oid, NO_VERSION)
+            if upto is not None:
+                marker = min(marker, upto) if marker != NO_VERSION else upto
+            if marker == NO_VERSION:
+                return
+            self._play_until(marker)
+
+    # ------------------------------------------------------------------
+    # transactions (generating side)
+    # ------------------------------------------------------------------
+
+    def _current_tx(self) -> Optional[TxContext]:
+        return getattr(self._tls, "tx", None)
+
+    def begin_tx(self) -> None:
+        """Open a transaction context in thread-local storage."""
+        if self._current_tx() is not None:
+            raise NestedTransactionError("transaction already open")
+        tx_id = (self._client_id << 32) | (next(self._tx_seq) & 0xFFFFFFFF)
+        self._tls.tx = TxContext(tx_id)
+
+    def abort_tx(self) -> None:
+        """Discard the open transaction without touching the log."""
+        if self._current_tx() is None:
+            raise NoActiveTransaction("no transaction open")
+        self._tls.tx = None
+
+    def end_tx(self, allow_stale: bool = False) -> bool:
+        """Close the transaction; returns True on commit, False on abort.
+
+        Fast paths (section 3.2): a read-only transaction appends
+        nothing — it plays the log to the current tail and validates
+        locally (or, with ``allow_stale``, validates against the stale
+        snapshot without touching the log). A write-only transaction
+        appends its commit record and commits immediately, without
+        playing the log forward.
+        """
+        ctx = self._current_tx()
+        if ctx is None:
+            raise NoActiveTransaction("no transaction open")
+        self._tls.tx = None
+        if ctx.is_read_only:
+            return self._end_read_only(ctx, allow_stale)
+        if ctx.is_write_only:
+            self._append_commit(ctx)
+            self.stats["commits"] += 1
+            return True
+        return self._end_read_write(ctx)
+
+    def _end_read_only(self, ctx: TxContext, allow_stale: bool) -> bool:
+        if not ctx.read_set:
+            return True  # empty transaction
+        with self._play_lock:
+            if not allow_stale:
+                markers = self._streams.sync_many(self.hosted_oids())
+                live = [m for m in markers.values() if m != NO_VERSION]
+                if live:
+                    self._play_until(max(live))
+            ok = not any(
+                self._versions.is_stale(e.oid, e.key, e.version)
+                for e in ctx.read_set
+            )
+        self.stats["commits" if ok else "aborts"] += 1
+        if ok:
+            self.stats["read_only_commits"] += 1
+        return ok
+
+    def _end_read_write(self, ctx: TxContext) -> bool:
+        with self._play_lock:
+            return self._end_read_write_locked(ctx)
+
+    def _end_read_write_locked(self, ctx: TxContext) -> bool:
+        commit_offset, record = self._append_commit(ctx)
+        # Play forward to the commit point; processing the commit record
+        # (we host the whole read set, by construction) decides it.
+        self._streams.sync_many(self.hosted_oids())
+        self._play_until(commit_offset)
+        outcome = self._decided.get(ctx.tx_id)
+        # Our commit record may sit behind an earlier transaction that is
+        # parked awaiting its decision record (its commit shares one of
+        # our streams). The decision is coming from that transaction's
+        # generator; keep playing forward until it lands.
+        stuck_rounds = 0
+        while outcome is None and stuck_rounds < _MAX_DECISION_WAIT_ROUNDS:
+            watermark = self._watermark
+            markers = self._streams.sync_many(self.hosted_oids())
+            live = [m for m in markers.values() if m != NO_VERSION]
+            if live:
+                self._play_until(max(live))
+            outcome = self._decided.get(ctx.tx_id)
+            if self._watermark == watermark and not self._deferred:
+                stuck_rounds += 1
+        if outcome is None:
+            raise TangoError(
+                f"transaction {ctx.tx_id} undecided after playback to its "
+                f"commit record; a preceding commit record is awaiting a "
+                f"decision that never arrived (crashed generator?) — "
+                f"resolve it with publish_decision/force_abort"
+            )
+        if record.decision_expected:
+            self._own_commits[ctx.tx_id] = (commit_offset, record)
+            self._append_decision(ctx.tx_id, outcome, record)
+        self.stats["commits" if outcome else "aborts"] += 1
+        return outcome
+
+    def use_hosting_registry(self, registry) -> None:
+        """Enable dynamic decision-record insertion (section 4.1).
+
+        With a :class:`~repro.tango.hosting.HostingRegistry` attached,
+        EndTX consults the registered hosting sets instead of relying
+        solely on static ``needs_decision_record`` marks: a decision
+        record is appended exactly when some other client hosts a
+        write-set object without the whole read set. Static marks still
+        force decisions (the union is taken), so the dynamic scheme can
+        only add precision, never lose safety.
+        """
+        self._hosting_registry = registry
+
+    def _append_commit(self, ctx: TxContext) -> Tuple[int, CommitRecord]:
+        """Flush buffered updates and append the commit record.
+
+        Small transactions inline their updates in the commit record
+        (one append). Larger ones first flush speculative update
+        entries to the written objects' streams, then append a commit
+        record referencing them by tx id.
+        """
+        decision_expected = any(
+            getattr(self._objects.get(e.oid), "needs_decision_record", False)
+            for e in ctx.read_set
+        )
+        registry = getattr(self, "_hosting_registry", None)
+        if registry is not None and not decision_expected:
+            decision_expected = registry.needs_decision(
+                [e.oid for e in ctx.read_set], ctx.write_oids, self.name
+            )
+        streams = ctx.involved_oids()
+        inline = CommitRecord(
+            ctx.tx_id,
+            tuple(ctx.read_set),
+            tuple(ctx.write_oids),
+            tuple(ctx.updates),
+            decision_expected=decision_expected,
+        )
+        payload = encode_records([inline])
+        if len(payload) <= self._streams.corfu.max_payload:
+            offset = self._streams.append(payload, streams)
+            return offset, inline
+        # Oversized: speculative flush, one entry per update.
+        for update in ctx.updates:
+            self._streams.append(encode_records([update]), (update.oid,))
+        record = CommitRecord(
+            ctx.tx_id,
+            tuple(ctx.read_set),
+            tuple(ctx.write_oids),
+            (),
+            decision_expected=decision_expected,
+        )
+        offset = self._streams.append(encode_records([record]), streams)
+        return offset, record
+
+    def _append_decision(
+        self, tx_id: int, outcome: bool, record: CommitRecord
+    ) -> None:
+        streams = []
+        for entry in record.read_set:
+            if entry.oid not in streams:
+                streams.append(entry.oid)
+        for oid in record.write_oids:
+            if oid not in streams:
+                streams.append(oid)
+        decision = DecisionRecord(tx_id, outcome)
+        self._streams.append(encode_records([decision]), tuple(streams))
+        self.stats["decisions_published"] += 1
+        if self._subscribers:
+            self._emit("decision", {"tx_id": tx_id, "committed": outcome})
+
+    def transaction(self, retries: int = 0, allow_stale: bool = False):
+        """Context manager sugar around BeginTX/EndTX.
+
+        Raises :class:`~repro.errors.TransactionAborted` when validation
+        fails after exhausting *retries*. Note that retrying re-executes
+        the ``with`` body only when used through :meth:`run_transaction`;
+        the bare context manager performs a single attempt.
+        """
+        return _TxScope(self, allow_stale)
+
+    def run_transaction(self, fn, retries: int = 16, allow_stale: bool = False):
+        """Run ``fn()`` inside a transaction, retrying on aborts.
+
+        Returns ``fn``'s result from the committing attempt.
+
+        Transactional reads observe the local view without playing the
+        log forward, so application preconditions can fail spuriously on
+        a stale view (e.g. a znode that "does not exist" only because
+        the view lags). If the body raises and the reads it made turn
+        out to be stale, the exception is treated as an abort and the
+        attempt is retried against the refreshed view; an exception over
+        fresh reads is a genuine application error and propagates.
+        """
+        for _ in range(retries + 1):
+            self.begin_tx()
+            try:
+                result = fn()
+            except (KeyboardInterrupt, SystemExit):
+                self.abort_tx()
+                raise
+            except BaseException:
+                ctx = self._current_tx()
+                self._tls.tx = None
+                if ctx is not None and self._reads_went_stale(ctx):
+                    continue
+                raise
+            if self.end_tx(allow_stale=allow_stale):
+                return result
+        raise TransactionAborted(f"still conflicting after {retries + 1} attempts")
+
+    def _reads_went_stale(self, ctx: TxContext) -> bool:
+        """Play the log forward; report whether *ctx*'s reads were stale."""
+        if not ctx.read_set:
+            return False
+        with self._play_lock:
+            markers = self._streams.sync_many(self.hosted_oids())
+            live = [m for m in markers.values() if m != NO_VERSION]
+            if live:
+                self._play_until(max(live))
+            return any(
+                self._versions.is_stale(e.oid, e.key, e.version)
+                for e in ctx.read_set
+            )
+
+    # ------------------------------------------------------------------
+    # orphan handling (section 3.2 / 4.1, "Failure Handling")
+    # ------------------------------------------------------------------
+
+    def force_abort(self, tx_id: int, oids: Sequence[int]) -> int:
+        """Terminate an orphaned transaction with a dummy aborting commit.
+
+        "A Tango client that crashes in the middle of a transaction can
+        leave behind orphaned data in the log without a corresponding
+        commit record; other clients can complete the transaction by
+        inserting a dummy commit record designed to abort."
+        """
+        record = CommitRecord(
+            tx_id, (), tuple(oids), (), forced_abort=True
+        )
+        return self._streams.append(encode_records([record]), tuple(oids))
+
+    def publish_decision(self, tx_id: int) -> bool:
+        """Append a decision record for a transaction this client decided.
+
+        Any client that hosts the read set (and therefore decided the
+        commit record locally) may do this when the generating client
+        crashed between its commit and decision records. Returns False
+        if this client has not decided the transaction.
+        """
+        outcome = self._decided.get(tx_id)
+        if outcome is None:
+            return False
+        pending = self._pending_records.get(tx_id)
+        if pending is None:
+            return False
+        _offset, record = pending
+        self._append_decision(tx_id, outcome, record)
+        return True
+
+    # ------------------------------------------------------------------
+    # checkpoint / forget (section 3.1)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, oid: int) -> int:
+        """Store a snapshot of *oid*'s view in the log; returns its offset."""
+        obj = self._objects.get(oid)
+        if obj is None:
+            raise UnknownObjectError(f"object {oid} has no local view")
+        self._play_lock.acquire()
+        try:
+            return self._checkpoint_locked(oid, obj)
+        finally:
+            self._play_lock.release()
+
+    def _checkpoint_locked(self, oid: int, obj) -> int:
+        covers = self._streams.position(oid)
+        record = CheckpointRecord(
+            oid,
+            covers,
+            self._versions.get(oid),
+            self._versions.snapshot_keys(oid),
+            obj.get_checkpoint(),
+            unkeyed_version=self._versions.snapshot_unkeyed(oid),
+        )
+        offset = self._streams.append(encode_records([record]), (oid,))
+        if self._subscribers:
+            self._emit(
+                "checkpoint", {"oid": oid, "offset": offset, "covers": covers}
+            )
+        return offset
+
+    def temporary_view(self, cls, oid: int, **kwargs):
+        """Materialize a view of *oid* for the duration of a scope.
+
+        The paper's section 4.1 (case D) rejects transactional remote
+        reads, listing as one alternative "recreating the view locally
+        at the beginning of the transaction, which can be too
+        expensive". This context manager is that alternative, made
+        explicit: the object is registered (catching up from its
+        stream, through checkpoints where available), participates in
+        transactions as a fully hosted view — conflict detection
+        included — and is deregistered on exit.
+
+        ::
+
+            with runtime.temporary_view(TangoMap, remote_oid) as prices:
+                def tx():
+                    if prices.get("widget") < 100:
+                        orders.append("widget")
+                runtime.run_transaction(tx)
+
+        The cost is what the paper warns about: a full stream replay
+        (or checkpoint load) at entry. Use it for occasional
+        cross-partition reads, not hot paths.
+        """
+        return _TemporaryView(self, cls, oid, kwargs)
+
+    def checkpoint_and_forget(self, oid: int, directory) -> int:
+        """Checkpoint *oid* and register its cover as the forget offset.
+
+        Plays the object to the current tail first, so the checkpoint
+        covers every entry of the stream below its own position; history
+        below the cover becomes reclaimable by ``directory.gc()``. To
+        unpin the log fully, call this for every object and for the
+        directory itself *last* (its checkpoint must cover the forget
+        records just appended). Returns the checkpoint's log offset.
+        """
+        self.query_helper(oid)
+        covers = self._streams.position(oid)
+        offset = self.checkpoint(oid)
+        directory.forget(oid, covers)
+        return offset
+
+    # ------------------------------------------------------------------
+    # merged playback
+    # ------------------------------------------------------------------
+
+    def _play_until(self, upto: int) -> None:
+        """Apply every pending entry with offset <= *upto*, in log order.
+
+        Streams currently blocked behind an awaited decision record do
+        not participate; their entries are deferred and drained when the
+        decision arrives.
+        """
+        while True:
+            best: Optional[int] = None
+            for sid in self._objects:
+                offset = self._streams.peek_offset(sid)
+                if offset is None or offset > upto:
+                    continue
+                if best is None or offset < best:
+                    best = offset
+            if best is None:
+                break
+            delivering = []
+            for sid in self._objects:
+                if self._streams.peek_offset(sid) == best:
+                    self._streams.readnext(sid)
+                    delivering.append(sid)
+            entry = self._streams.fetch(best)
+            self._process_entry(best, entry, tuple(delivering))
+            if best > self._watermark:
+                self._watermark = best
+
+    def _process_entry(
+        self, offset: int, entry, scope: Tuple[int, ...]
+    ) -> None:
+        """Dispatch one log entry's records for the objects in *scope*."""
+        if entry.is_junk:
+            return
+        records = decode_records(entry.payload)
+        # Decision records for awaited transactions bypass stream
+        # blocking — they are the unblocking events.
+        for record in records:
+            if isinstance(record, DecisionRecord) and record.tx_id in self._awaiting:
+                self._resolve_awaited(record)
+        if any(sid in self._blocked_streams for sid in scope):
+            self._deferred.append((offset, entry, scope))
+            return
+        for record in records:
+            self._dispatch(offset, record, scope)
+
+    def _dispatch(self, offset: int, record: Record, scope: Tuple[int, ...]) -> None:
+        if isinstance(record, UpdateRecord):
+            if record.is_speculative:
+                pending = self._pending.setdefault(
+                    record.tx_id, PendingTx(record.tx_id)
+                )
+                pending.speculative.append((offset, record))
+            elif record.oid in scope:
+                self._apply_update(offset, record)
+        elif isinstance(record, CommitRecord):
+            self._process_commit(offset, record, scope)
+        elif isinstance(record, DecisionRecord):
+            # Handled by the bypass when awaited; otherwise this client
+            # already decided locally (or never saw the commit) — ignore.
+            pass
+        elif isinstance(record, CheckpointRecord):
+            # Checkpoints are consumed only by the registration path.
+            pass
+        else:  # pragma: no cover - future-proofing
+            raise TangoError(f"unknown record type {type(record).__name__}")
+
+    def _apply_update(
+        self, offset: int, record: UpdateRecord, version_offset: Optional[int] = None
+    ) -> None:
+        """Apply one update to its view.
+
+        *offset* is where the update's data lives (what indexed views
+        store); *version_offset* is where it became visible (what OCC
+        compares against) — they differ only for speculative updates,
+        whose data precedes their commit record in the log.
+        """
+        obj = self._objects.get(record.oid)
+        if obj is None:
+            return
+        obj.apply(record.payload, offset)
+        self._versions.bump(
+            record.oid,
+            offset if version_offset is None else version_offset,
+            record.key,
+        )
+        self.stats["applied_updates"] += 1
+        if self._subscribers:
+            self._emit(
+                "apply",
+                {"oid": record.oid, "offset": offset, "key": record.key},
+            )
+
+    def _process_commit(
+        self, offset: int, record: CommitRecord, scope: Tuple[int, ...]
+    ) -> None:
+        tx_id = record.tx_id
+        if tx_id in self._decided:
+            # Re-encounter during late-stream catch-up: apply only the
+            # newly scoped objects' updates.
+            self._finalize_tx(offset, record, self._decided[tx_id], scope)
+            return
+        if record.forced_abort:
+            outcome = False
+        elif all(e.oid in self._objects for e in record.read_set):
+            outcome = not any(
+                self._versions.is_stale(e.oid, e.key, e.version)
+                for e in record.read_set
+            )
+        elif record.decision_expected:
+            self._park_for_decision(offset, record, scope)
+            return
+        else:
+            # Last-resort path (paper section 4.1, "Failure Handling"):
+            # "any client in the system can reconstruct local views of
+            # each object in the read set synced up to the commit offset
+            # and then check for conflicts." We reconstruct version
+            # tables, which is all a conflict check needs.
+            outcome = self._decide_by_reconstruction(offset, record, depth=0)
+        self._decided[tx_id] = outcome
+        self._pending_records[tx_id] = (offset, record)
+        if self._subscribers:
+            self._emit(
+                "commit" if outcome else "abort",
+                {"tx_id": tx_id, "offset": offset},
+            )
+        self._finalize_tx(offset, record, outcome, scope)
+
+    def _park_for_decision(
+        self, offset: int, record: CommitRecord, scope: Tuple[int, ...]
+    ) -> None:
+        """Hold the involved streams until the decision record arrives."""
+        pending = self._pending.setdefault(record.tx_id, PendingTx(record.tx_id))
+        pending.commit_offset = offset
+        pending.commit_record = record
+        self._awaiting[record.tx_id] = pending
+        involved = set(e.oid for e in record.read_set) | set(record.write_oids)
+        self._blocked_streams.update(involved & set(self._objects))
+
+    def _resolve_awaited(self, decision: DecisionRecord) -> None:
+        pending = self._awaiting.pop(decision.tx_id, None)
+        if pending is None:
+            return
+        record = pending.commit_record
+        offset = pending.commit_offset
+        self._decided[decision.tx_id] = decision.committed
+        involved = set(e.oid for e in record.read_set) | set(record.write_oids)
+        self._blocked_streams -= involved
+        self._finalize_tx(
+            offset, record, decision.committed, tuple(self._objects)
+        )
+        self._drain_deferred()
+
+    def _drain_deferred(self) -> None:
+        """Re-run deferred entries now that streams were unblocked."""
+        deferred, self._deferred = self._deferred, []
+        for offset, entry, scope in deferred:
+            self._process_entry(offset, entry, scope)
+
+    def _finalize_tx(
+        self,
+        commit_offset: int,
+        record: CommitRecord,
+        outcome: bool,
+        scope: Tuple[int, ...],
+    ) -> None:
+        """Apply (or discard) a decided transaction's buffered updates.
+
+        All of a transaction's writes become visible at the commit
+        record's position — its updates carry ``commit_offset`` as their
+        version, on every client.
+        """
+        pending = self._pending.pop(record.tx_id, None)
+        if not outcome:
+            return
+        scoped = set(scope)
+        if pending is not None:
+            for spec_offset, update in pending.speculative:
+                if update.oid in scoped:
+                    self._apply_update(
+                        spec_offset, update, version_offset=commit_offset
+                    )
+        for update in record.inline_updates:
+            if update.oid in scoped:
+                self._apply_update(commit_offset, update)
+
+    # ------------------------------------------------------------------
+    # decision by reconstruction (section 4.1, last-resort fallback)
+    # ------------------------------------------------------------------
+
+    _MAX_RECONSTRUCTION_DEPTH = 4
+
+    def _decide_by_reconstruction(
+        self, commit_offset: int, record: CommitRecord, depth: int
+    ) -> bool:
+        """Decide a commit record by rebuilding read-set version state.
+
+        For every object in the read set, replay its stream up to (but
+        excluding) the commit record and track versions; then run the
+        ordinary staleness check. Deterministic on every client, since
+        it reads only the shared history.
+        """
+        if depth > self._MAX_RECONSTRUCTION_DEPTH:
+            raise TangoError(
+                f"reconstruction for tx {record.tx_id} exceeded depth "
+                f"{self._MAX_RECONSTRUCTION_DEPTH}: deeply nested "
+                f"undecidable commit records; mark read-set objects "
+                f"with needs_decision_record"
+            )
+        if record.forced_abort:
+            return False
+        tables: Dict[int, VersionTable] = {}
+        for entry in record.read_set:
+            if entry.oid not in tables:
+                tables[entry.oid] = self._reconstruct_versions(
+                    entry.oid, commit_offset, depth
+                )
+        return not any(
+            tables[e.oid].is_stale(e.oid, e.key, e.version)
+            for e in record.read_set
+        )
+
+    def _reconstruct_versions(
+        self, oid: int, upto: int, depth: int
+    ) -> VersionTable:
+        """Version table of *oid* as of log offset *upto* (exclusive)."""
+        self._streams.open_stream(oid)
+        self._streams.sync(oid)
+        table = VersionTable()
+        pending: Dict[int, List[Tuple[int, UpdateRecord]]] = {}
+        for offset in self._streams.known_offsets(oid):
+            if offset >= upto:
+                break
+            entry = self._streams.fetch(offset)
+            if entry.is_junk:
+                continue
+            for record in decode_records(entry.payload):
+                if isinstance(record, UpdateRecord):
+                    if record.oid != oid:
+                        continue
+                    if record.is_speculative:
+                        pending.setdefault(record.tx_id, []).append(
+                            (offset, record)
+                        )
+                    else:
+                        table.bump(oid, offset, record.key)
+                elif isinstance(record, CommitRecord):
+                    outcome = self._decided.get(record.tx_id)
+                    if outcome is None:
+                        outcome = self._reconstructed_outcome(
+                            oid, offset, record, table, depth
+                        )
+                        self._decided[record.tx_id] = outcome
+                        self._pending_records[record.tx_id] = (offset, record)
+                    if not outcome:
+                        pending.pop(record.tx_id, None)
+                        continue
+                    for _spec, update in pending.pop(record.tx_id, []):
+                        table.bump(oid, offset, update.key)
+                    for update in record.inline_updates:
+                        if update.oid == oid:
+                            table.bump(oid, offset, update.key)
+                elif isinstance(record, CheckpointRecord):
+                    if record.oid == oid:
+                        table.load_checkpoint(
+                            oid,
+                            record.object_version,
+                            record.key_versions,
+                            record.unkeyed_version,
+                        )
+        return table
+
+    def _reconstructed_outcome(
+        self,
+        oid: int,
+        offset: int,
+        record: CommitRecord,
+        table: VersionTable,
+        depth: int,
+    ) -> bool:
+        """Outcome of a nested commit record met during reconstruction."""
+        if record.forced_abort:
+            return False
+        if all(e.oid == oid for e in record.read_set):
+            return not any(
+                table.is_stale(e.oid, e.key, e.version) for e in record.read_set
+            )
+        if record.decision_expected:
+            for _off, entry in self._streams.lookahead(oid, offset):
+                if entry.is_junk:
+                    continue
+                for rec in decode_records(entry.payload):
+                    if (
+                        isinstance(rec, DecisionRecord)
+                        and rec.tx_id == record.tx_id
+                    ):
+                        return rec.committed
+        return self._decide_by_reconstruction(offset, record, depth + 1)
+
+    # ------------------------------------------------------------------
+    # late-stream catch-up
+    # ------------------------------------------------------------------
+
+    def _catch_up(self, oid: int, upto: int) -> None:
+        """Replay *oid*'s stream alone up to the global watermark.
+
+        Commit decisions encountered here are resolved from (in order):
+        the local decision cache, a read set confined to this object
+        (versions are reconstructed historically during the replay), or
+        a decision record found further down the stream.
+        """
+        while True:
+            item = self._streams.readnext(oid, upto=upto)
+            if item is None:
+                break
+            offset, entry = item
+            if entry.is_junk:
+                continue
+            for record in decode_records(entry.payload):
+                if isinstance(record, UpdateRecord):
+                    if record.is_speculative:
+                        pending = self._pending.setdefault(
+                            record.tx_id, PendingTx(record.tx_id)
+                        )
+                        pending.speculative.append((offset, record))
+                    elif record.oid == oid:
+                        self._apply_update(offset, record)
+                elif isinstance(record, CommitRecord):
+                    self._catch_up_commit(oid, offset, record)
+
+    def _catch_up_commit(self, oid: int, offset: int, record: CommitRecord) -> None:
+        tx_id = record.tx_id
+        if tx_id in self._decided:
+            self._finalize_tx(offset, record, self._decided[tx_id], (oid,))
+            return
+        if record.forced_abort:
+            outcome = False
+        elif all(e.oid == oid for e in record.read_set):
+            outcome = not any(
+                self._versions.is_stale(e.oid, e.key, e.version)
+                for e in record.read_set
+            )
+        else:
+            outcome = self._hunt_decision(oid, offset, tx_id)
+            if outcome is None:
+                outcome = self._decide_by_reconstruction(offset, record, depth=0)
+        self._decided[tx_id] = outcome
+        self._pending_records[tx_id] = (offset, record)
+        self._finalize_tx(offset, record, outcome, (oid,))
+
+    def _hunt_decision(self, oid: int, offset: int, tx_id: int) -> Optional[bool]:
+        """Scan forward in the stream for the transaction's decision record."""
+        for _off, entry in self._streams.lookahead(oid, offset):
+            if entry.is_junk:
+                continue
+            for record in decode_records(entry.payload):
+                if isinstance(record, DecisionRecord) and record.tx_id == tx_id:
+                    return record.committed
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def version_of(self, oid: int, key: Optional[bytes] = None) -> int:
+        """Current version (last-modifying offset) of an object or key."""
+        return self._versions.get(oid, key)
+
+    def status(self) -> dict:
+        """Operational snapshot of this client's runtime.
+
+        Intended for dashboards and debugging: hosted objects, playback
+        progress, parked transactions (a growing ``awaiting_decisions``
+        means some generator is slow or dead — see
+        :meth:`publish_decision`), and the cumulative statistics.
+        """
+        return {
+            "name": self.name,
+            "hosted_oids": sorted(self._objects),
+            "watermark": self._watermark,
+            "pending_txes": len(self._pending),
+            "awaiting_decisions": sorted(self._awaiting),
+            "blocked_streams": sorted(self._blocked_streams),
+            "deferred_entries": len(self._deferred),
+            "decided_txes": len(self._decided),
+            "open_transaction": self._current_tx() is not None,
+            "stats": dict(self.stats),
+        }
+
+    @property
+    def streams(self) -> StreamClient:
+        return self._streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TangoRuntime {self.name} objects={len(self._objects)} "
+            f"watermark={self._watermark}>"
+        )
+
+
+class _TemporaryView:
+    """Context manager behind :meth:`TangoRuntime.temporary_view`."""
+
+    def __init__(self, runtime: TangoRuntime, cls, oid: int, kwargs) -> None:
+        self._runtime = runtime
+        self._cls = cls
+        self._oid = oid
+        self._kwargs = kwargs
+        self._obj = None
+        self._was_hosted = False
+
+    def __enter__(self):
+        existing = self._runtime.get_object(self._oid)
+        if existing is not None:
+            # Already hosted: hand it out and leave it alone on exit.
+            self._was_hosted = True
+            self._obj = existing
+            return existing
+        self._obj = self._cls(self._runtime, self._oid, **self._kwargs)
+        return self._obj
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._was_hosted:
+            self._runtime.deregister_object(self._oid)
+        return False
+
+
+class _UpdateBatch:
+    """Accumulates update records and flushes them as shared entries."""
+
+    def __init__(self, runtime: TangoRuntime, size: int) -> None:
+        self._runtime = runtime
+        self._size = size
+        self._records: List[UpdateRecord] = []
+
+    def add(self, record: UpdateRecord) -> None:
+        self._records.append(record)
+        if len(self._records) >= self._size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._records:
+            return
+        records, self._records = self._records, []
+        streams: List[int] = []
+        for record in records:
+            if record.oid not in streams:
+                streams.append(record.oid)
+        payload = encode_records(records)
+        limit = self._runtime._streams.corfu.max_payload
+        if len(payload) <= limit and len(streams) <= (
+            self._runtime._streams.corfu.max_streams
+        ):
+            self._runtime._streams.append(payload, tuple(streams))
+            return
+        # Oversized batch: fall back to one entry per record.
+        for record in records:
+            self._runtime._streams.append(
+                encode_records([record]), (record.oid,)
+            )
+
+
+class _BatchScope:
+    """Context manager installing an update batch in thread-local state."""
+
+    def __init__(self, runtime: TangoRuntime, size: int) -> None:
+        self._runtime = runtime
+        self._size = size
+
+    def __enter__(self) -> "_BatchScope":
+        if getattr(self._runtime._tls, "batch", None) is not None:
+            raise TangoError("batch scope already open on this thread")
+        self._runtime._tls.batch = _UpdateBatch(self._runtime, self._size)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        batch = self._runtime._tls.batch
+        self._runtime._tls.batch = None
+        if exc_type is None:
+            batch.flush()
+        return False
+
+
+class _TxScope:
+    """Context manager for a single transaction attempt."""
+
+    def __init__(self, runtime: TangoRuntime, allow_stale: bool) -> None:
+        self._runtime = runtime
+        self._allow_stale = allow_stale
+        self.committed: Optional[bool] = None
+
+    def __enter__(self) -> "_TxScope":
+        self._runtime.begin_tx()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._runtime.abort_tx()
+            return False
+        self.committed = self._runtime.end_tx(allow_stale=self._allow_stale)
+        if not self.committed:
+            raise TransactionAborted("read set validation failed")
+        return False

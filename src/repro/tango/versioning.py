@@ -1,0 +1,102 @@
+"""Version tracking for optimistic concurrency control.
+
+Paper section 3.2, "Versioning": the version of an object is "simply the
+last offset in the shared log that modified the object". A single
+version per object "can result in an unnecessarily high abort rate for
+large data structures"; objects may therefore pass opaque *key*
+parameters to the helper calls, "specifying which disjoint sub-region of
+the data structure is being accessed and thus allowing for fine-grained
+versioning within the object. Internally, Tango then tracks the latest
+version of each key within an object."
+
+Consistency rules between the two granularities:
+
+- a **keyed write** bumps the key version and the whole-object version,
+  so coarse readers conflict with it;
+- an **unkeyed write** may touch any part of the object, so it must
+  invalidate *every* keyed read; we track the last unkeyed modification
+  per object separately for this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.tango.records import NO_VERSION
+
+
+class VersionTable:
+    """Per-object and per-(object, key) last-modified offsets."""
+
+    def __init__(self) -> None:
+        self._object_versions: Dict[int, int] = {}
+        self._unkeyed_versions: Dict[int, int] = {}
+        self._key_versions: Dict[Tuple[int, bytes], int] = {}
+
+    def bump(self, oid: int, offset: int, key: Optional[bytes] = None) -> None:
+        """Record that *offset* modified *oid* (and *key* within it)."""
+        if offset > self._object_versions.get(oid, NO_VERSION):
+            self._object_versions[oid] = offset
+        if key is None:
+            if offset > self._unkeyed_versions.get(oid, NO_VERSION):
+                self._unkeyed_versions[oid] = offset
+        else:
+            k = (oid, key)
+            if offset > self._key_versions.get(k, NO_VERSION):
+                self._key_versions[k] = offset
+
+    def get(self, oid: int, key: Optional[bytes] = None) -> int:
+        """Current version of *oid* (or of *key* within *oid*).
+
+        The keyed version folds in unkeyed modifications, since those
+        may have touched the key's sub-region.
+        """
+        if key is None:
+            return self._object_versions.get(oid, NO_VERSION)
+        return max(
+            self._key_versions.get((oid, key), NO_VERSION),
+            self._unkeyed_versions.get(oid, NO_VERSION),
+        )
+
+    def is_stale(self, oid: int, key: Optional[bytes], read_version: int) -> bool:
+        """True if the location was modified after *read_version*."""
+        return self.get(oid, key) > read_version
+
+    def snapshot_keys(self, oid: int) -> Tuple[Tuple[bytes, int], ...]:
+        """All key versions for *oid* (for checkpoint records)."""
+        return tuple(
+            (key, version)
+            for (obj, key), version in sorted(self._key_versions.items())
+            if obj == oid
+        )
+
+    def snapshot_unkeyed(self, oid: int) -> int:
+        """Last unkeyed modification offset for *oid*."""
+        return self._unkeyed_versions.get(oid, NO_VERSION)
+
+    def load_checkpoint(
+        self,
+        oid: int,
+        object_version: int,
+        key_versions: Tuple[Tuple[bytes, int], ...],
+        unkeyed_version: int = NO_VERSION,
+    ) -> None:
+        """Install version state recovered from a checkpoint record.
+
+        All three pieces are carried exactly in the checkpoint so that a
+        reloaded view makes the same commit/abort decisions as a view
+        built from the full history.
+        """
+        if object_version != NO_VERSION:
+            self._object_versions[oid] = object_version
+        if unkeyed_version != NO_VERSION:
+            self._unkeyed_versions[oid] = unkeyed_version
+        for key, version in key_versions:
+            self._key_versions[(oid, key)] = version
+
+    def drop_object(self, oid: int) -> None:
+        """Forget all version state for *oid* (object deregistration)."""
+        self._object_versions.pop(oid, None)
+        self._unkeyed_versions.pop(oid, None)
+        for k in [k for k in self._key_versions if k[0] == oid]:
+            del self._key_versions[k]

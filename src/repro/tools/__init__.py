@@ -1,0 +1,19 @@
+"""Operational tooling: log inspection and integrity checking."""
+
+from repro.tools.inspect import (
+    LogDoctorReport,
+    check_log,
+    compact_all,
+    dump_log,
+    format_dump,
+    stream_summary,
+)
+
+__all__ = [
+    "dump_log",
+    "format_dump",
+    "stream_summary",
+    "check_log",
+    "compact_all",
+    "LogDoctorReport",
+]

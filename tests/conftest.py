@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.corfu import CorfuCluster
+from repro.tango.directory import TangoDirectory
+from repro.tango.runtime import TangoRuntime
+
+_client_ids = itertools.count(1)
+
+
+@pytest.fixture
+def cluster() -> CorfuCluster:
+    """A small in-process CORFU deployment (3 chains of 2)."""
+    return CorfuCluster(num_sets=3, replication_factor=2)
+
+
+@pytest.fixture
+def big_cluster() -> CorfuCluster:
+    """The paper's 9x2 deployment."""
+    return CorfuCluster(num_sets=9, replication_factor=2)
+
+
+@pytest.fixture
+def make_runtime(cluster):
+    """Factory for runtimes (clients) on the shared cluster fixture."""
+
+    def factory(name: str = None) -> TangoRuntime:
+        cid = next(_client_ids)
+        return TangoRuntime(cluster, client_id=cid, name=name or f"client-{cid}")
+
+    return factory
+
+
+@pytest.fixture
+def make_client(cluster, make_runtime):
+    """Factory for (runtime, directory) pairs on the shared cluster."""
+
+    def factory(name: str = None):
+        runtime = make_runtime(name)
+        return runtime, TangoDirectory(runtime)
+
+    return factory

@@ -1,0 +1,102 @@
+"""Functional coverage for the absolute backpointer format.
+
+The relative format overflows when a stream's previous entry is more
+than 64K entries back (section 5). Appending 64K+ entries per test is
+wasteful, so these tests shrink the overflow threshold via monkeypatch
+and drive the *real* append/sync machinery through the absolute-format
+paths: sparse streams whose every header uses 8-byte absolute pointers.
+"""
+
+import pytest
+
+import repro.corfu.entry as entry_module
+from repro.corfu import CorfuCluster
+from repro.streams import StreamClient
+
+
+@pytest.fixture
+def tiny_delta(monkeypatch):
+    """Pretend relative deltas overflow beyond 8 entries."""
+    monkeypatch.setattr(entry_module, "_MAX_RELATIVE_DELTA", 8)
+
+
+class TestAbsoluteFormatEndToEnd:
+    def test_sparse_stream_uses_absolute_headers(self, tiny_delta):
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        client = cluster.client()
+        client.append(b"sparse-0", stream_ids=(1,))  # offset 0
+        for i in range(20):  # 20 entries of other traffic
+            client.append(b"noise-%d" % i, stream_ids=(2,))
+        offset = client.append(b"sparse-1", stream_ids=(1,))  # offset 21
+        header = client.read(offset).header_for(1)
+        assert header.is_absolute
+        assert header.backpointers == (0,)
+
+    def test_sync_walks_absolute_pointers(self, tiny_delta):
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        writer = StreamClient(cluster.client())
+        expected = []
+        for i in range(4):
+            expected.append(writer.append(b"sparse-%d" % i, (1,)))
+            for j in range(12):  # force every delta to overflow
+                writer.append(b"noise", (2,))
+        reader = StreamClient(cluster.client())
+        reader.open_stream(1)
+        reader.sync(1)
+        got = []
+        while True:
+            item = reader.readnext(1)
+            if item is None:
+                break
+            got.append(item[0])
+        assert got == expected
+
+    def test_mixed_dense_and_sparse_regions(self, tiny_delta):
+        """A stream that alternates between bursts (relative headers)
+        and long silences (absolute headers) syncs correctly."""
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        writer = StreamClient(cluster.client())
+        expected = []
+        for burst in range(3):
+            for i in range(5):  # dense burst: relative deltas fit
+                expected.append(writer.append(b"burst", (1,)))
+            for j in range(15):  # silence: next header goes absolute
+                writer.append(b"noise", (2,))
+        reader = StreamClient(cluster.client())
+        reader.open_stream(1)
+        reader.sync(1)
+        got = []
+        while True:
+            item = reader.readnext(1)
+            if item is None:
+                break
+            got.append(item[0])
+        assert got == expected
+
+    def test_absolute_pointer_count_is_k_over_4(self, tiny_delta):
+        cluster = CorfuCluster(num_sets=3, replication_factor=2, k=8)
+        client = cluster.client()
+        for i in range(3):
+            client.append(b"s-%d" % i, stream_ids=(1,))
+            for j in range(12):
+                client.append(b"noise", stream_ids=(2,))
+        offset = client.append(b"s-last", stream_ids=(1,))
+        header = client.read(offset).header_for(1)
+        assert header.is_absolute
+        assert len(header.backpointers) == 2  # K/4 = 8/4
+
+    def test_failover_rebuild_with_absolute_headers(self, tiny_delta):
+        from repro.corfu import reconfig
+
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        client = cluster.client()
+        client.append(b"sparse", stream_ids=(1,))
+        for i in range(20):
+            client.append(b"noise", stream_ids=(2,))
+        client.append(b"sparse-2", stream_ids=(1,))
+        cluster.crash_sequencer()
+        new = reconfig.replace_sequencer(cluster)
+        _, streams = cluster.sequencer(new.sequencer).query(
+            stream_ids=(1,), epoch=new.epoch
+        )
+        assert tuple(streams[1]) == (21, 0)

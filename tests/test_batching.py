@@ -1,0 +1,111 @@
+"""Tests for group-commit update batching (section 6: batch size 4)."""
+
+import pytest
+
+from repro.errors import TangoError
+from repro.objects import TangoList, TangoMap
+from repro.tango.records import UpdateRecord, decode_records
+
+
+class TestBatchScope:
+    def test_batch_coalesces_appends(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        before = rt.streams.corfu.appends
+        with rt.batch(size=4):
+            for i in range(8):
+                m.put(f"k{i}", i)
+        assert rt.streams.corfu.appends == before + 2  # 8 records / 4
+        assert m.size() == 8
+
+    def test_partial_batch_flushes_on_exit(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        before = rt.streams.corfu.appends
+        with rt.batch(size=4):
+            m.put("a", 1)
+            m.put("b", 2)
+        assert rt.streams.corfu.appends == before + 1
+        assert m.get("a") == 1
+
+    def test_records_preserve_order(self, make_runtime):
+        rt = make_runtime()
+        lst = TangoList(rt, oid=1)
+        with rt.batch(size=8):
+            for i in range(6):
+                lst.append(i)
+        assert lst.to_list() == (0, 1, 2, 3, 4, 5)
+
+    def test_batched_entry_multiappended_to_all_streams(self, make_runtime):
+        """A mixed batch lands in every involved object's stream."""
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        lst = TangoList(rt, oid=2)
+        with rt.batch(size=4):
+            m.put("k", 1)
+            lst.append("x")
+        entry = rt.streams.corfu.read(rt.streams.corfu.check() - 1)
+        assert set(entry.stream_ids()) == {1, 2}
+        records = decode_records(entry.payload)
+        assert len(records) == 2
+
+    def test_read_your_writes_inside_batch(self, make_runtime):
+        """An accessor inside the scope flushes pending updates first."""
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        with rt.batch(size=100):
+            m.put("k", 42)
+            assert m.get("k") == 42  # flushed by the read
+
+    def test_other_clients_see_batched_updates(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        m1, m2 = TangoMap(rt1, oid=1), TangoMap(rt2, oid=1)
+        with rt1.batch(size=4):
+            for i in range(4):
+                m1.put(f"k{i}", i)
+        assert m2.size() == 4
+
+    def test_nested_batch_rejected(self, make_runtime):
+        rt = make_runtime()
+        with rt.batch():
+            with pytest.raises(TangoError):
+                with rt.batch():
+                    pass
+
+    def test_exception_discards_unflushed_records(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        with pytest.raises(RuntimeError):
+            with rt.batch(size=100):
+                m.put("doomed", 1)
+                raise RuntimeError("boom")
+        assert m.get("doomed") is None
+
+    def test_exception_keeps_already_flushed_records(self, make_runtime):
+        """Flushed entries are in the log; only the buffer is dropped."""
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        with pytest.raises(RuntimeError):
+            with rt.batch(size=1):  # every update flushes immediately
+                m.put("durable", 1)
+                raise RuntimeError("boom")
+        assert m.get("durable") == 1
+
+    def test_oversized_batch_falls_back_per_record(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        big = "x" * 1500
+        with rt.batch(size=8):
+            for i in range(8):
+                m.put(f"k{i}", big)  # 8 x ~1.5KB > one 4KB entry
+        assert m.size() == 8
+
+    def test_transactions_unaffected_by_batch_scope(self, make_runtime):
+        """TX buffering takes precedence over batch buffering."""
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        m.put("k", 0)
+        m.get("k")
+        with rt.batch(size=4):
+            committed = rt.run_transaction(lambda: m.put("k", m.get("k") + 1))
+        assert m.get("k") == 1

@@ -1,0 +1,29 @@
+"""Tests for the `python -m repro.bench` command-line entry point."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_quick_single_figure(self, capsys):
+        assert main(["--quick", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "kreq_per_sec" in out
+
+    def test_multiple_figures(self, capsys):
+        assert main(["--quick", "fig2", "sec5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "sequencer failover" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["nonsense"])
+        assert excinfo.value.code != 0
+
+    def test_functional_section(self, capsys):
+        assert main(["--quick", "sec63"]) == 0
+        out = capsys.readouterr().out
+        assert "TangoZK" in out

@@ -1,0 +1,145 @@
+"""Randomized fault injection: correctness under infrastructure chaos.
+
+Hypothesis drives interleavings of application operations with storage
+crashes/recoveries and sequencer kills. Invariants:
+
+- no committed data is ever lost;
+- all views converge;
+- every fresh client reconstructs the same state;
+- the log passes fsck (no dangling transaction state).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corfu import CorfuCluster
+from repro.objects import TangoMap
+from repro.tango.runtime import TangoRuntime
+from repro.tools import check_log
+
+_settings = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Actions: put (key, value), crash storage i, recover storage i,
+# crash sequencer. With 3x replication, chains survive two dead nodes.
+_actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 5), st.integers(0, 99)),
+        st.tuples(st.just("crash"), st.integers(0, 5)),
+        st.tuples(st.just("recover"), st.integers(0, 5)),
+        st.tuples(st.just("kill_seq"), st.just(0)),
+    ),
+    max_size=20,
+)
+
+
+def _node_name(cluster, index):
+    nodes = sorted(cluster.projection.all_nodes())
+    if not nodes:
+        return None
+    return nodes[index % len(nodes)]
+
+
+class TestChaos:
+    @given(actions=_actions)
+    @_settings
+    def test_no_committed_write_is_ever_lost(self, actions):
+        cluster = CorfuCluster(num_sets=2, replication_factor=3)
+        rt = TangoRuntime(cluster, client_id=1)
+        m = TangoMap(rt, oid=1)
+        expected = {}
+        crashed = set()
+        for action in actions:
+            kind = action[0]
+            if kind == "put":
+                key, value = f"k{action[1]}", action[2]
+                m.put(key, value)
+                expected[key] = value
+            elif kind == "crash":
+                name = _node_name(cluster, action[1])
+                if name is None:
+                    continue
+                # Keep at least one live replica per chain: skip the
+                # crash if it would empty the victim's chain.
+                chain = next(
+                    rs for rs in cluster.projection.replica_sets
+                    if name in rs.nodes
+                )
+                live = [n for n in chain if n not in crashed]
+                if len(live) <= 1 or name in crashed:
+                    continue
+                cluster.crash_storage(name)
+                crashed.add(name)
+            elif kind == "recover":
+                name = _node_name(cluster, action[1])
+                if name in crashed:
+                    # Recovered nodes may have been ejected from the
+                    # projection; recovery just brings the unit up.
+                    cluster.recover_storage(name)
+                    crashed.discard(name)
+            else:  # kill_seq
+                cluster.crash_sequencer(cluster.projection.sequencer)
+        # Every committed put is visible to the writer...
+        assert {k: m.get(k) for k in expected} == expected
+        # ...and to a brand-new client reconstructing from the log.
+        fresh = TangoMap(TangoRuntime(cluster, client_id=2), oid=1)
+        assert {k: fresh.get(k) for k in expected} == expected
+
+    @given(actions=_actions)
+    @_settings
+    def test_log_stays_fsck_clean(self, actions):
+        cluster = CorfuCluster(num_sets=2, replication_factor=3)
+        rt = TangoRuntime(cluster, client_id=1)
+        m = TangoMap(rt, oid=1)
+        crashed = set()
+        for action in actions:
+            kind = action[0]
+            if kind == "put":
+                m.put(f"k{action[1]}", action[2])
+            elif kind == "crash":
+                name = _node_name(cluster, action[1])
+                if name is None or name in crashed:
+                    continue
+                chain = next(
+                    rs for rs in cluster.projection.replica_sets
+                    if name in rs.nodes
+                )
+                if len([n for n in chain if n not in crashed]) <= 1:
+                    continue
+                cluster.crash_storage(name)
+                crashed.add(name)
+            elif kind == "recover":
+                name = _node_name(cluster, action[1])
+                if name in crashed:
+                    cluster.recover_storage(name)
+                    crashed.discard(name)
+            else:
+                cluster.crash_sequencer(cluster.projection.sequencer)
+        # Recover any still-crashed units so fsck can read everything.
+        for name in list(crashed):
+            cluster.recover_storage(name)
+        report = check_log(cluster)
+        assert report.healthy
+        assert not report.bad_backpointers
+
+    @given(
+        puts=st.integers(min_value=1, max_value=15),
+        kill_at=st.integers(min_value=0, max_value=14),
+    )
+    @_settings
+    def test_transactions_across_sequencer_kill(self, puts, kill_at):
+        """Transactional RMW stays exact no matter when the sequencer
+        dies."""
+        cluster = CorfuCluster(num_sets=2, replication_factor=2)
+        rt = TangoRuntime(cluster, client_id=1)
+        m = TangoMap(rt, oid=1)
+        m.put("n", 0)
+        m.get("n")
+        for i in range(puts):
+            if i == kill_at:
+                cluster.crash_sequencer(cluster.projection.sequencer)
+            rt.run_transaction(lambda: m.put("n", m.get("n") + 1))
+        assert m.get("n") == puts

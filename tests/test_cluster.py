@@ -1,0 +1,81 @@
+"""Tests for in-process cluster wiring and deployment parameters."""
+
+import pytest
+
+from repro.corfu import CorfuCluster, Projection, ReplicaSet
+from repro.errors import NodeDownError
+
+
+class TestConstruction:
+    def test_default_is_paper_deployment(self):
+        cluster = CorfuCluster()
+        proj = cluster.projection
+        assert len(proj.replica_sets) == 9
+        assert all(len(rs) == 2 for rs in proj.replica_sets)
+        assert cluster.entry_size == 4096
+        assert cluster.k == 4
+
+    def test_custom_projection(self):
+        proj = Projection(0, (ReplicaSet(("x", "y")),), "my-seq")
+        cluster = CorfuCluster(projection=proj)
+        assert cluster.projection.sequencer == "my-seq"
+        assert cluster.storage("x").name == "x"
+
+    def test_unknown_storage_node(self, cluster):
+        with pytest.raises(NodeDownError):
+            cluster.storage("ghost")
+
+    def test_sequencer_created_on_demand(self, cluster):
+        seq = cluster.sequencer("brand-new-seq")
+        assert seq.name == "brand-new-seq"
+        assert cluster.sequencer("brand-new-seq") is seq
+
+
+class TestProjectionInstall:
+    def test_stale_epoch_rejected(self, cluster):
+        current = cluster.projection
+        with pytest.raises(ValueError):
+            cluster.install_projection(current)
+
+    def test_newer_epoch_accepted(self, cluster):
+        new = cluster.projection.with_sequencer("seq-next")
+        cluster.install_projection(new)
+        assert cluster.projection.epoch == 1
+
+    def test_concurrent_installs_first_wins(self, cluster):
+        base = cluster.projection
+        a = base.with_sequencer("seq-a")
+        b = base.with_sequencer("seq-b")
+        cluster.install_projection(a)
+        with pytest.raises(ValueError):
+            cluster.install_projection(b)
+        assert cluster.projection.sequencer == "seq-a"
+
+
+class TestCounters:
+    def test_storage_counters_aggregate(self, cluster):
+        client = cluster.client()
+        client.append(b"x")
+        client.read(0)
+        assert cluster.total_storage_writes() >= 2  # 2 replicas
+        assert cluster.total_storage_reads() >= 1
+
+    def test_client_counters(self, cluster):
+        client = cluster.client()
+        client.append(b"x")
+        client.read(0)
+        assert client.appends == 1
+        assert client.reads == 1
+
+
+class TestFaultInjectionSurface:
+    def test_crash_and_recover_storage(self, cluster):
+        victim = cluster.projection.replica_sets[0].head
+        cluster.crash_storage(victim)
+        assert cluster.storage(victim).is_down
+        cluster.recover_storage(victim)
+        assert not cluster.storage(victim).is_down
+
+    def test_crash_specific_sequencer(self, cluster):
+        cluster.crash_sequencer("seq-0")
+        assert cluster.sequencer("seq-0").is_down

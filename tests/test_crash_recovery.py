@@ -1,0 +1,147 @@
+"""End-to-end crash/recovery narratives across the whole stack.
+
+Each test tells one operational story: something dies at the worst
+moment, and the combination of protocols (holes + fill, forced aborts,
+decision publishing, fsck, durable storage) brings the system back to a
+consistent, verifiable state.
+"""
+
+import pytest
+
+from repro.corfu import CorfuCluster
+from repro.corfu.durable import open_durable_cluster
+from repro.objects import TangoList, TangoMap
+from repro.tango.records import UpdateRecord, encode_records
+from repro.tango.runtime import TangoRuntime
+from repro.tools import check_log
+
+
+class TestClientCrashMidTransaction:
+    def test_orphan_found_by_fsck_and_cleaned(self, cluster):
+        """Crash after speculative flush, before the commit record."""
+        rt1 = TangoRuntime(cluster, client_id=1)
+        m1 = TangoMap(rt1, oid=1)
+        m1.put("healthy", 1)
+        # The "crashed" client flushed speculative updates only.
+        rt_dead = TangoRuntime(cluster, client_id=66)
+        dead_tx = (66 << 32) | 1
+        rt_dead.streams.append(
+            encode_records(
+                [UpdateRecord(1, b'{"op":"put","k":"orphan","v":1}', tx_id=dead_tx)]
+            ),
+            (1,),
+        )
+        report = check_log(cluster)
+        assert report.orphaned_txes == [dead_tx]
+        # Any surviving client terminates the orphan...
+        rt1.force_abort(dead_tx, oids=(1,))
+        assert check_log(cluster).healthy
+        # ...and the orphan's writes never surface.
+        rt2 = TangoRuntime(cluster, client_id=2)
+        m2 = TangoMap(rt2, oid=1)
+        assert m2.get("orphan") is None
+        assert m2.get("healthy") == 1
+
+    def test_crash_between_commit_and_decision(self, cluster):
+        """The read-set host publishes the missing decision."""
+
+        class Marked(TangoMap):
+            needs_decision_record = True
+
+        rt_dead = TangoRuntime(cluster, client_id=1)
+        private_dead = Marked(rt_dead, oid=1)
+        list_dead = TangoList(rt_dead, oid=2)
+        private_dead.put("g", 1)
+        private_dead.get("g")
+        rt_dead.begin_tx()
+        _ = private_dead.get("g")
+        list_dead.append("committed-item")
+        ctx = rt_dead._current_tx()
+        rt_dead._tls.tx = None
+        rt_dead._append_commit(ctx)  # then the client dies
+
+        report = check_log(cluster)
+        assert report.undecided_txes == [ctx.tx_id]
+
+        # A surviving read-set host decides and publishes.
+        rt_helper = TangoRuntime(cluster, client_id=2)
+        helper_private = Marked(rt_helper, oid=1)
+        helper_list = TangoList(rt_helper, oid=2)
+        helper_list.to_list()  # plays the commit; decides locally
+        assert rt_helper.publish_decision(ctx.tx_id)
+        assert check_log(cluster).healthy
+
+        # A write-set-only consumer is unblocked by the decision.
+        rt_consumer = TangoRuntime(cluster, client_id=3)
+        consumer_list = TangoList(rt_consumer, oid=2)
+        assert consumer_list.to_list() == ("committed-item",)
+
+
+class TestClientCrashMidAppend:
+    def test_hole_in_object_stream_is_transparent(self, cluster):
+        rt1 = TangoRuntime(cluster, client_id=1)
+        m1 = TangoMap(rt1, oid=1)
+        m1.put("before", 1)
+        # Crash: offset reserved for stream 1, never written.
+        cluster.sequencer().increment(stream_ids=(1,))
+        m1.put("after", 2)
+        rt2 = TangoRuntime(cluster, client_id=2)
+        m2 = TangoMap(rt2, oid=1)
+        assert m2.get("before") == 1
+        assert m2.get("after") == 2
+        report = check_log(cluster)
+        assert report.healthy  # the fill made the hole junk
+        assert len(report.junk) == 1
+
+
+class TestInfrastructureCascade:
+    def test_storage_then_sequencer_then_fresh_client(self, cluster):
+        rt1 = TangoRuntime(cluster, client_id=1)
+        m1 = TangoMap(rt1, oid=1)
+        for i in range(8):
+            m1.put(f"k{i}", i)
+        cluster.crash_storage(cluster.projection.replica_sets[0].head)
+        for i in range(8, 12):
+            m1.put(f"k{i}", i)
+        cluster.crash_sequencer()
+        for i in range(12, 16):
+            m1.put(f"k{i}", i)
+        fresh = TangoMap(TangoRuntime(cluster, client_id=2), oid=1)
+        assert fresh.size() == 16
+        assert cluster.projection.epoch >= 2
+
+    def test_majority_of_one_chain_survivable_with_3x(self):
+        cluster = CorfuCluster(num_sets=2, replication_factor=3)
+        rt = TangoRuntime(cluster, client_id=1)
+        m = TangoMap(rt, oid=1)
+        m.put("a", 1)
+        chain = cluster.projection.replica_sets[0]
+        cluster.crash_storage(chain.nodes[0])
+        m.put("b", 2)
+        cluster.crash_storage(chain.nodes[1])
+        m.put("c", 3)
+        fresh = TangoMap(TangoRuntime(cluster, client_id=2), oid=1)
+        assert fresh.size() == 3
+
+
+class TestDurableRestartMidWorkload:
+    def test_restart_with_unresolved_orphan(self, tmp_path):
+        """Durability + fsck: the orphan survives the restart and is
+        still detectable and resolvable afterwards."""
+        data_dir = str(tmp_path / "log")
+        cluster = open_durable_cluster(data_dir, num_sets=3, replication_factor=2)
+        rt = TangoRuntime(cluster, client_id=1)
+        m = TangoMap(rt, oid=1)
+        m.put("live", 1)
+        rt.streams.append(
+            encode_records([UpdateRecord(1, b"{}", tx_id=0xABC)]), (1,)
+        )
+        # Process restart.
+        reopened = open_durable_cluster(data_dir, num_sets=3, replication_factor=2)
+        report = check_log(reopened)
+        assert report.orphaned_txes == [0xABC]
+        rt2 = TangoRuntime(reopened, client_id=2)
+        rt2.force_abort(0xABC, oids=(1,))
+        assert check_log(reopened).healthy
+        m2 = TangoMap(rt2, oid=1)
+        assert m2.get("live") == 1

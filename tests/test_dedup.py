@@ -1,0 +1,115 @@
+"""Tests for the deduplicating chunk store."""
+
+import pytest
+
+from repro.apps.dedup import DedupStore
+
+
+@pytest.fixture
+def store(make_client):
+    rt, directory = make_client()
+    return DedupStore(rt, directory, chunk_bytes=64)
+
+
+class TestWritePath:
+    def test_round_trip(self, store):
+        data = bytes(range(256)) * 2
+        store.put_file("f", data)
+        assert store.get_file("f") == data
+
+    def test_duplicate_chunks_stored_once(self, store):
+        block = b"A" * 64
+        stats = store.put_file("f", block * 10)
+        assert stats["chunks"] == 10
+        assert stats["unique_chunks"] == 1
+        assert stats["new_chunks"] == 1
+        assert stats["deduplicated"] == 9
+
+    def test_cross_file_dedup(self, store):
+        shared = b"S" * 64
+        store.put_file("one", shared + b"1" * 64)
+        stats = store.put_file("two", shared + b"2" * 64)
+        assert stats["new_chunks"] == 1  # only the "2" chunk is new
+        assert store.get_file("two") == shared + b"2" * 64
+
+    def test_duplicate_filename_rejected(self, store):
+        store.put_file("f", b"x" * 64)
+        with pytest.raises(FileExistsError):
+            store.put_file("f", b"y" * 64)
+
+    def test_empty_file(self, store):
+        store.put_file("empty", b"")
+        assert store.get_file("empty") == b""
+
+    def test_odd_sized_tail_chunk(self, store):
+        data = b"q" * 100  # 64 + 36
+        store.put_file("f", data)
+        assert store.get_file("f") == data
+
+
+class TestChunksLiveInTheLog:
+    def test_index_holds_offsets(self, store):
+        store.put_file("f", b"Z" * 64)
+        import hashlib
+
+        digest = hashlib.sha256(b"Z" * 64).hexdigest()
+        offset = store.chunk_offset(digest)
+        assert isinstance(offset, int) and offset >= 0
+
+    def test_fresh_client_reads_same_chunks(self, cluster, make_client):
+        rt1, d1 = make_client()
+        store1 = DedupStore(rt1, d1, chunk_bytes=64)
+        data = bytes(range(200))
+        store1.put_file("f", data)
+        rt2, d2 = make_client()
+        store2 = DedupStore(rt2, d2, chunk_bytes=64)
+        assert store2.get_file("f") == data
+        assert store2.files() == ("f",)
+
+
+class TestDeletePath:
+    def test_delete_releases_unshared_chunks(self, store):
+        store.put_file("f", b"U" * 64)
+        store.delete_file("f")
+        assert store.files() == ()
+        assert store.stats()["unique_chunks"] == 0
+
+    def test_shared_chunks_survive_deletion(self, store):
+        shared = b"S" * 64
+        store.put_file("a", shared)
+        store.put_file("b", shared)
+        store.delete_file("a")
+        assert store.get_file("b") == shared
+
+    def test_delete_missing_file(self, store):
+        with pytest.raises(FileNotFoundError):
+            store.delete_file("ghost")
+
+    def test_refcounts_across_delete_cycles(self, store):
+        shared = b"R" * 64
+        store.put_file("a", shared * 2)  # two references
+        store.put_file("b", shared)  # one more
+        store.delete_file("a")
+        assert store.get_file("b") == shared
+        store.delete_file("b")
+        assert store.stats()["unique_chunks"] == 0
+
+
+class TestStats:
+    def test_dedup_ratio(self, store):
+        block = b"D" * 64
+        store.put_file("f", block * 4)
+        stats = store.stats()
+        assert stats["files"] == 1
+        assert stats["unique_chunks"] == 1
+        assert stats["total_references"] == 4
+        assert stats["dedup_ratio"] == 4.0
+
+    def test_empty_store(self, store):
+        stats = store.stats()
+        assert stats == {
+            "files": 0,
+            "unique_chunks": 0,
+            "total_references": 0,
+            "dedup_ratio": 0.0,
+        }

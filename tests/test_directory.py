@@ -1,0 +1,159 @@
+"""Tests for the Tango object directory (naming + GC)."""
+
+import pytest
+
+from repro.errors import TrimmedError, UnknownObjectError
+from repro.objects import TangoMap, TangoRegister
+from repro.tango.directory import DIRECTORY_OID, TangoDirectory
+
+
+class TestNaming:
+    def test_lookup_missing(self, make_client):
+        _rt, directory = make_client()
+        assert directory.lookup("nope") is None
+
+    def test_get_or_create_assigns_oid(self, make_client):
+        _rt, directory = make_client()
+        oid = directory.get_or_create("widgets")
+        assert oid >= 1  # 0 is the directory itself
+        assert directory.lookup("widgets") == oid
+
+    def test_get_or_create_is_stable(self, make_client):
+        _rt, directory = make_client()
+        assert directory.get_or_create("x") == directory.get_or_create("x")
+
+    def test_names_unique_oids(self, make_client):
+        _rt, directory = make_client()
+        oids = {directory.get_or_create(f"name-{i}") for i in range(10)}
+        assert len(oids) == 10
+
+    def test_names_replicated_across_clients(self, make_client):
+        _rt1, d1 = make_client()
+        _rt2, d2 = make_client()
+        oid = d1.get_or_create("shared-name")
+        assert d2.get_or_create("shared-name") == oid
+
+    def test_interleaved_creates_never_collide(self, make_client):
+        """Clients alternating creates get globally unique OIDs."""
+        _rt1, d1 = make_client()
+        _rt2, d2 = make_client()
+        oids = []
+        for i in range(6):
+            directory = d1 if i % 2 == 0 else d2
+            oids.append(directory.get_or_create(f"obj-{i}"))
+        assert len(set(oids)) == 6
+
+    def test_remove(self, make_client):
+        _rt, directory = make_client()
+        directory.get_or_create("temp")
+        directory.remove("temp")
+        assert directory.lookup("temp") is None
+
+    def test_removed_name_gets_fresh_oid(self, make_client):
+        _rt, directory = make_client()
+        old = directory.get_or_create("temp")
+        directory.remove("temp")
+        new = directory.get_or_create("temp")
+        assert new != old  # OIDs are never recycled
+
+    def test_names_listing(self, make_client):
+        _rt, directory = make_client()
+        directory.get_or_create("b")
+        directory.get_or_create("a")
+        assert directory.names() == ("a", "b")
+
+    def test_directory_oid_is_hardcoded(self, make_client):
+        _rt, directory = make_client()
+        assert directory.oid == DIRECTORY_OID == 0
+
+
+class TestOpen:
+    def test_open_instantiates_class(self, make_client):
+        rt, directory = make_client()
+        obj = directory.open(TangoRegister, "reg")
+        obj.write(1)
+        assert obj.read() == 1
+
+    def test_open_same_name_returns_existing_view(self, make_client):
+        _rt, directory = make_client()
+        a = directory.open(TangoRegister, "reg")
+        b = directory.open(TangoRegister, "reg")
+        assert a is b
+
+    def test_open_wrong_class_rejected(self, make_client):
+        _rt, directory = make_client()
+        directory.open(TangoRegister, "reg")
+        with pytest.raises(UnknownObjectError):
+            directory.open(TangoMap, "reg")
+
+    def test_open_same_name_different_clients(self, make_client):
+        _rt1, d1 = make_client()
+        _rt2, d2 = make_client()
+        r1 = d1.open(TangoRegister, "reg")
+        r2 = d2.open(TangoRegister, "reg")
+        r1.write("hello")
+        assert r2.read() == "hello"
+
+
+class TestGarbageCollection:
+    def test_forget_offsets_replicated(self, make_client):
+        _rt1, d1 = make_client()
+        _rt2, d2 = make_client()
+        oid = d1.get_or_create("obj")
+        d1.forget(oid, 50)
+        assert d2.forget_offset(oid) == 50
+
+    def test_forget_is_monotone(self, make_client):
+        _rt, directory = make_client()
+        oid = directory.get_or_create("obj")
+        directory.forget(oid, 50)
+        directory.forget(oid, 30)  # lower offsets cannot re-pin history
+        assert directory.forget_offset(oid) == 50
+
+    def test_gc_pinned_by_object_without_forget(self, make_client):
+        """An object that never forgets pins the whole log."""
+        _rt, directory = make_client()
+        directory.open(TangoMap, "a")
+        oid_b = directory.get_or_create("b")
+        directory.forget(oid_b, 100)
+        assert directory.gc() == 0
+
+    def test_gc_trims_to_minimum(self, make_client):
+        rt, directory = make_client()
+        m = directory.open(TangoMap, "a")
+        for i in range(10):
+            m.put(f"k{i}", i)
+        rt.checkpoint_and_forget(m.oid, directory)
+        rt.checkpoint_and_forget(directory.oid, directory)
+        trim_point = directory.gc()
+        assert trim_point > 0
+        with pytest.raises(TrimmedError):
+            rt.streams.corfu.read(0)
+
+    def test_fresh_client_after_gc(self, make_client):
+        """Post-GC reconstruction goes through checkpoints."""
+        rt, directory = make_client()
+        m = directory.open(TangoMap, "a")
+        for i in range(10):
+            m.put(f"k{i}", i)
+        rt.checkpoint_and_forget(m.oid, directory)
+        rt.checkpoint_and_forget(directory.oid, directory)
+        assert directory.gc() > 0
+        _rt2, d2 = make_client()
+        fresh = d2.open(TangoMap, "a")
+        assert fresh.size() == 10
+        assert fresh.get("k5") == 5
+
+    def test_gc_preserves_everything_still_needed(self, make_client):
+        """Updates after the checkpoint survive GC and reach fresh views."""
+        rt, directory = make_client()
+        m = directory.open(TangoMap, "a")
+        m.put("old", 1)
+        rt.checkpoint_and_forget(m.oid, directory)
+        m.put("new", 2)  # after the cover: must survive
+        rt.checkpoint_and_forget(directory.oid, directory)
+        directory.gc()
+        _rt2, d2 = make_client()
+        fresh = d2.open(TangoMap, "a")
+        assert fresh.get("old") == 1
+        assert fresh.get("new") == 2

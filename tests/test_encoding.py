@@ -1,0 +1,111 @@
+"""Unit and property tests for the binary encoding helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.encoding import (
+    decode_bytes,
+    decode_str,
+    encode_bytes,
+    encode_str,
+    pack_u16,
+    pack_u32,
+    pack_u64,
+    unpack_u16,
+    unpack_u32,
+    unpack_u64,
+)
+
+
+class TestFixedWidth:
+    def test_u16_round_trip(self):
+        buf = bytearray()
+        pack_u16(buf, 0xBEEF)
+        value, off = unpack_u16(bytes(buf), 0)
+        assert value == 0xBEEF
+        assert off == 2
+
+    def test_u32_round_trip(self):
+        buf = bytearray()
+        pack_u32(buf, 0xDEADBEEF)
+        value, off = unpack_u32(bytes(buf), 0)
+        assert value == 0xDEADBEEF
+        assert off == 4
+
+    def test_u64_round_trip(self):
+        buf = bytearray()
+        pack_u64(buf, 2**63 + 17)
+        value, off = unpack_u64(bytes(buf), 0)
+        assert value == 2**63 + 17
+        assert off == 8
+
+    def test_sequential_fields_advance_offset(self):
+        buf = bytearray()
+        pack_u16(buf, 1)
+        pack_u32(buf, 2)
+        pack_u64(buf, 3)
+        a, off = unpack_u16(bytes(buf), 0)
+        b, off = unpack_u32(bytes(buf), off)
+        c, off = unpack_u64(bytes(buf), off)
+        assert (a, b, c) == (1, 2, 3)
+        assert off == len(buf)
+
+    def test_u16_overflow_rejected(self):
+        buf = bytearray()
+        with pytest.raises(Exception):
+            pack_u16(buf, 0x10000)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_u16_property(self, value):
+        buf = bytearray()
+        pack_u16(buf, value)
+        assert unpack_u16(bytes(buf), 0)[0] == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFFFFFFFFFF))
+    def test_u64_property(self, value):
+        buf = bytearray()
+        pack_u64(buf, value)
+        assert unpack_u64(bytes(buf), 0)[0] == value
+
+
+class TestVariableLength:
+    def test_bytes_round_trip(self):
+        buf = bytearray()
+        encode_bytes(buf, b"hello world")
+        data, off = decode_bytes(bytes(buf), 0)
+        assert data == b"hello world"
+        assert off == len(buf)
+
+    def test_empty_bytes(self):
+        buf = bytearray()
+        encode_bytes(buf, b"")
+        data, off = decode_bytes(bytes(buf), 0)
+        assert data == b""
+        assert off == 4
+
+    def test_str_round_trip_unicode(self):
+        buf = bytearray()
+        encode_str(buf, "héllo wörld — ←")
+        text, _ = decode_str(bytes(buf), 0)
+        assert text == "héllo wörld — ←"
+
+    @given(st.binary(max_size=4096))
+    def test_bytes_property(self, data):
+        buf = bytearray()
+        encode_bytes(buf, data)
+        decoded, off = decode_bytes(bytes(buf), 0)
+        assert decoded == data
+        assert off == len(buf)
+
+    @given(st.lists(st.binary(max_size=64), max_size=10))
+    def test_concatenated_fields(self, chunks):
+        buf = bytearray()
+        for chunk in chunks:
+            encode_bytes(buf, chunk)
+        off = 0
+        out = []
+        for _ in chunks:
+            chunk, off = decode_bytes(bytes(buf), off)
+            out.append(chunk)
+        assert out == chunks

@@ -1,0 +1,153 @@
+"""Tests for log entries and stream headers (paper section 5 formats)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corfu.entry import (
+    DEFAULT_K,
+    MAX_STREAM_ID,
+    NO_BACKPOINTER,
+    LogEntry,
+    StreamHeader,
+    header_bytes,
+    make_header,
+    max_payload_bytes,
+)
+from repro.errors import TooManyStreamsError
+
+
+class TestStreamHeader:
+    def test_relative_round_trip(self):
+        header = StreamHeader(7, (95, 90, 80, NO_BACKPOINTER))
+        buf = bytearray()
+        header.encode(buf, own_offset=100, k=4)
+        decoded, off = StreamHeader.decode(bytes(buf), 0, own_offset=100, k=4)
+        assert decoded == header
+        assert off == len(buf) == header_bytes(4)
+
+    def test_absolute_round_trip(self):
+        header = StreamHeader(7, (1_000_000,), is_absolute=True)
+        buf = bytearray()
+        header.encode(buf, own_offset=2_000_000, k=4)
+        decoded, _ = StreamHeader.decode(bytes(buf), 0, own_offset=2_000_000, k=4)
+        assert decoded == header
+
+    def test_header_size_is_12_bytes_with_k4(self):
+        """Paper: "If K = 4 ... the header uses 12 bytes"."""
+        assert header_bytes(4) == 12
+        header = StreamHeader(1, (5, 4, 3, 2))
+        buf = bytearray()
+        header.encode(buf, own_offset=6, k=4)
+        assert len(buf) == 12
+
+    def test_absolute_header_same_size(self):
+        header = StreamHeader(1, (5,), is_absolute=True)
+        buf = bytearray()
+        header.encode(buf, own_offset=6, k=4)
+        assert len(buf) == 12  # 4 (id+flag) + 1 * 8 (absolute pointer)
+
+    def test_stream_id_31_bits(self):
+        StreamHeader(MAX_STREAM_ID, (NO_BACKPOINTER,) * 4)
+        with pytest.raises(ValueError):
+            StreamHeader(MAX_STREAM_ID + 1, ())
+        with pytest.raises(ValueError):
+            StreamHeader(-1, ())
+
+    def test_relative_delta_overflow_rejected_at_encode(self):
+        header = StreamHeader(1, (0,))  # delta of 100000 from offset 100000
+        buf = bytearray()
+        with pytest.raises(ValueError):
+            header.encode(buf, own_offset=100_000, k=4)
+
+    def test_previous_offset(self):
+        assert StreamHeader(1, (42, 41)).previous_offset() == 42
+        assert StreamHeader(1, ()).previous_offset() == NO_BACKPOINTER
+
+
+class TestMakeHeader:
+    def test_empty_stream(self):
+        header = make_header(3, (), own_offset=10, k=4)
+        assert not header.is_absolute
+        assert header.backpointers == (NO_BACKPOINTER,) * 4
+
+    def test_relative_when_deltas_fit(self):
+        header = make_header(3, (99, 98, 97, 96), own_offset=100, k=4)
+        assert not header.is_absolute
+        assert header.backpointers == (99, 98, 97, 96)
+
+    def test_individual_overflow_degrades_to_none(self):
+        # Oldest pointer is 70000 back — beyond the 64K relative range.
+        header = make_header(3, (99_999, 30_000), own_offset=100_000, k=4)
+        assert not header.is_absolute
+        assert header.backpointers == (99_999, NO_BACKPOINTER, NO_BACKPOINTER, NO_BACKPOINTER)
+
+    def test_all_overflow_switches_to_absolute(self):
+        """Paper: "To handle the case where all K deltas overflow, the
+        header uses an alternative format"."""
+        header = make_header(3, (10, 9, 8, 7), own_offset=1_000_000, k=4)
+        assert header.is_absolute
+        assert header.backpointers == (10,)  # K/4 pointers
+
+    def test_round_trip_absolute_through_entry(self):
+        header = make_header(3, (10,), own_offset=1_000_000, k=4)
+        entry = LogEntry(headers=(header,), payload=b"x")
+        raw = entry.encode(1_000_000)
+        decoded = LogEntry.decode(raw, 1_000_000)
+        assert decoded.headers[0].backpointers == (10,)
+        assert decoded.headers[0].is_absolute
+
+
+class TestLogEntry:
+    def test_round_trip(self):
+        headers = (
+            make_header(1, (5, 4), 10, 4),
+            make_header(2, (9,), 10, 4),
+        )
+        entry = LogEntry(headers=headers, payload=b"payload bytes")
+        raw = entry.encode(10)
+        decoded = LogEntry.decode(raw, 10)
+        assert decoded.payload == b"payload bytes"
+        assert decoded.stream_ids() == (1, 2)
+        assert not decoded.is_junk
+
+    def test_junk_entry(self):
+        raw = LogEntry.junk().encode(5)
+        decoded = LogEntry.decode(raw, 5)
+        assert decoded.is_junk
+        assert decoded.headers == ()
+        assert decoded.payload == b""
+
+    def test_header_for(self):
+        entry = LogEntry(headers=(make_header(1, (), 0, 4),))
+        assert entry.header_for(1) is not None
+        assert entry.header_for(2) is None
+
+    def test_too_many_streams(self):
+        headers = tuple(make_header(i, (), 0, 4) for i in range(17))
+        entry = LogEntry(headers=headers)
+        with pytest.raises(TooManyStreamsError):
+            entry.encode(0, max_streams=16)
+
+    def test_max_payload_accounting(self):
+        """An entry at the payload cap must encode within entry_size."""
+        cap = max_payload_bytes(4096, max_streams=16, k=4)
+        headers = tuple(make_header(i, (), 100, 4) for i in range(16))
+        entry = LogEntry(headers=headers, payload=b"x" * cap)
+        assert len(entry.encode(100)) <= 4096
+
+    @given(
+        payload=st.binary(max_size=512),
+        offsets=st.lists(
+            st.integers(min_value=0, max_value=999), max_size=4, unique=True
+        ),
+        own=st.integers(min_value=1000, max_value=2000),
+    )
+    def test_round_trip_property(self, payload, offsets, own):
+        offsets = sorted(offsets, reverse=True)
+        header = make_header(5, tuple(offsets), own, 4)
+        entry = LogEntry(headers=(header,), payload=payload)
+        decoded = LogEntry.decode(entry.encode(own), own)
+        assert decoded.payload == payload
+        back = [p for p in decoded.headers[0].backpointers if p != NO_BACKPOINTER]
+        assert back == offsets[: len(back)]

@@ -1,0 +1,39 @@
+"""The examples are part of the public contract: they must all run.
+
+Each example's ``main()`` is executed in-process; a broken example
+fails the suite rather than rotting silently.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str) -> None:
+    path = _EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "job_scheduler.py",
+        "zookeeper_namespaces.py",
+        "hdfs_namenode.py",
+        "time_travel_mirror.py",
+        "topology_service.py",
+    ],
+)
+def test_example_runs(script, capsys):
+    _run_example(script)
+    out = capsys.readouterr().out
+    assert out  # every example narrates what it demonstrates
+    assert "BAD" not in out

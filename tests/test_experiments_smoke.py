@@ -1,0 +1,80 @@
+"""Smoke tests: every experiment function runs and returns sane rows.
+
+The full-size runs with shape assertions live in ``benchmarks/``; these
+are minimal-parameter executions so that a broken experiment fails fast
+in the unit suite.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.bench import experiments_functional as F
+
+_FAST = {"duration": 0.01, "warmup": 0.002}
+
+
+class TestModelExperiments:
+    def test_fig2(self):
+        rows = E.fig2_sequencer(client_counts=(2,), **_FAST)
+        assert rows[0]["clients"] == 2
+        assert rows[0]["kreq_per_sec"] > 0
+
+    def test_fig8_left(self):
+        rows = E.fig8_single_view(write_ratios=(0.5,), windows=(16,), **_FAST)
+        assert rows[0]["kops_per_sec"] > 0
+        assert rows[0]["latency_ms"] > 0
+
+    def test_fig8_middle(self):
+        rows = E.fig8_two_views(target_write_rates=(0, 10e3), **_FAST)
+        assert len(rows) == 2
+        assert rows[0]["reads_kops"] > 0
+
+    def test_fig8_right(self):
+        rows = E.fig8_elasticity(reader_counts=(2,), **_FAST)
+        assert len(rows) == 2  # one per log size
+        assert all(r["reads_kops"] > 0 for r in rows)
+
+    def test_fig9(self):
+        rows = E.fig9_tx_goodput(
+            node_counts=(2,), key_counts=(1000,), distributions=("uniform",),
+            **_FAST,
+        )
+        row = rows[0]
+        assert 0 < row["goodput_ktx"] <= row["ktx_per_sec"]
+        assert 0 <= row["goodput_pct"] <= 100
+
+    def test_fig10_left(self):
+        rows = E.fig10_partitions(node_counts=(2,), **_FAST)
+        assert {r["log"] for r in rows} == {"18-server", "6-server"}
+
+    def test_fig10_middle(self):
+        rows = E.fig10_cross_partition(cross_pcts=(0, 50), nodes=4, **_FAST)
+        assert all(r["tango_ktx"] > 0 and r["twopl_ktx"] > 0 for r in rows)
+
+    def test_fig10_right(self):
+        rows = E.fig10_shared_object(shared_pcts=(0, 50), nodes=2, **_FAST)
+        assert rows[0]["ktx_per_sec"] > rows[1]["ktx_per_sec"]
+
+
+class TestFunctionalExperiments:
+    def test_sec63_zookeeper(self):
+        rows = F.sec63_zookeeper(clients=2, ops_per_client=5, moves=3)
+        by = {r["metric"]: r["measured"] for r in rows}
+        assert by["moves visible at destination owner"] == 3
+
+    def test_sec63_bookkeeper(self):
+        rows = F.sec63_bookkeeper(entries=10)
+        by = {r["metric"]: r["measured"] for r in rows}
+        assert by["log appends per ledger write"] == 1.0
+
+    def test_sec5_failover(self):
+        rows = F.sec5_sequencer_failover(entries=30, streams=3)
+        by = {r["metric"]: r["measured"] for r in rows}
+        assert by["recovered state exact (tail + last-K per stream)"] is True
+
+    def test_sec5_failover_vs_checkpoint(self):
+        rows = F.sec5_failover_vs_checkpoint(log_sizes=(30,))
+        assert len(rows) == 2
+        with_cp = next(r for r in rows if r["checkpointed"])
+        without = next(r for r in rows if not r["checkpointed"])
+        assert with_cp["scan_reads"] < without["scan_reads"]

@@ -1,0 +1,141 @@
+"""Tests for the mini HDFS namenode (section 6.3 fidelity check)."""
+
+import pytest
+
+from repro.apps.hdfs import MiniNameNode, NotActiveError
+from repro.tango.directory import TangoDirectory
+from repro.tango.runtime import TangoRuntime
+
+
+@pytest.fixture
+def active_nn(make_client):
+    rt, directory = make_client()
+    nn = MiniNameNode(rt, directory, "nn-1")
+    assert nn.start()
+    return nn
+
+
+class TestNamespace:
+    def test_mkdir_and_list(self, active_nn):
+        active_nn.mkdir("/data")
+        active_nn.mkdir("/data/raw")
+        assert active_nn.listdir("/") == ("data",)
+        assert active_nn.listdir("/data") == ("raw",)
+
+    def test_create_file_and_blocks(self, active_nn):
+        active_nn.mkdir("/d")
+        active_nn.create_file("/d/f")
+        b0 = active_nn.add_block("/d/f")
+        b1 = active_nn.add_block("/d/f")
+        assert active_nn.file_blocks("/d/f") == (b0, b1)
+        assert b1 == b0 + 1
+
+    def test_duplicate_create_rejected(self, active_nn):
+        active_nn.mkdir("/d")
+        with pytest.raises(FileExistsError):
+            active_nn.mkdir("/d")
+
+    def test_missing_parent_rejected(self, active_nn):
+        with pytest.raises(FileNotFoundError):
+            active_nn.create_file("/no/such/dir/f")
+
+    def test_delete_recursive(self, active_nn):
+        active_nn.mkdir("/d")
+        active_nn.create_file("/d/f1")
+        active_nn.create_file("/d/f2")
+        active_nn.delete("/d")
+        assert not active_nn.exists("/d")
+        assert not active_nn.exists("/d/f1")
+
+    def test_rename_moves_subtree(self, active_nn):
+        active_nn.mkdir("/src")
+        active_nn.create_file("/src/f")
+        active_nn.mkdir("/dst")
+        active_nn.rename("/src", "/dst/moved")
+        assert active_nn.exists("/dst/moved/f")
+        assert not active_nn.exists("/src")
+
+    def test_rename_target_conflict(self, active_nn):
+        active_nn.mkdir("/a")
+        active_nn.mkdir("/b")
+        with pytest.raises(FileExistsError):
+            active_nn.rename("/a", "/b")
+
+    def test_block_operations_on_dirs_rejected(self, active_nn):
+        active_nn.mkdir("/d")
+        with pytest.raises(FileNotFoundError):
+            active_nn.add_block("/d")
+        with pytest.raises(FileNotFoundError):
+            active_nn.file_blocks("/d")
+
+
+class TestHighAvailability:
+    def test_standby_cannot_mutate(self, cluster, active_nn, make_client):
+        rt2, d2 = make_client()
+        standby = MiniNameNode(rt2, d2, "nn-2")
+        assert standby.start() is False
+        with pytest.raises(NotActiveError):
+            standby.mkdir("/nope")
+
+    def test_reboot_recovery(self, cluster, active_nn, make_client):
+        """Section 6.3: "recovery from a namenode reboot"."""
+        active_nn.mkdir("/d")
+        active_nn.create_file("/d/f")
+        active_nn.add_block("/d/f")
+        rt_new, d_new = make_client()
+        reborn = MiniNameNode.restart(rt_new, d_new, "nn-1")
+        reborn.failover()
+        assert reborn.exists("/d/f")
+        assert reborn.file_blocks("/d/f") == (0,)
+        reborn.create_file("/d/g")  # and it can keep journaling
+        assert reborn.exists("/d/g")
+
+    def test_failover_to_backup(self, cluster, active_nn, make_client):
+        """Section 6.3: "fail-over to a backup namenode"."""
+        active_nn.mkdir("/d")
+        active_nn.create_file("/d/f")
+        rt2, d2 = make_client()
+        backup = MiniNameNode(rt2, d2, "nn-2")
+        backup.start()
+        backup.failover()
+        assert backup.is_active
+        assert backup.exists("/d/f")
+        with pytest.raises(NotActiveError):
+            active_nn.create_file("/d/zombie")
+        assert not active_nn.is_active
+        backup.create_file("/d/post-failover")
+        assert backup.exists("/d/post-failover")
+
+    def test_zombie_edit_never_visible(self, cluster, active_nn, make_client):
+        """The fenced journal guarantees no split-brain edits."""
+        active_nn.mkdir("/d")
+        rt2, d2 = make_client()
+        backup = MiniNameNode(rt2, d2, "nn-2")
+        backup.failover()
+        try:
+            active_nn.create_file("/d/zombie")
+        except NotActiveError:
+            pass
+        rt3, d3 = make_client()
+        third = MiniNameNode(rt3, d3, "nn-3")
+        third.failover()
+        assert not third.exists("/d/zombie")
+
+    def test_chained_failovers_preserve_history(self, cluster, make_client):
+        """Edits accumulate across a chain of incarnations."""
+        rt1, d1 = make_client()
+        nn1 = MiniNameNode(rt1, d1, "nn-1")
+        nn1.start()
+        nn1.mkdir("/gen1")
+        rt2, d2 = make_client()
+        nn2 = MiniNameNode(rt2, d2, "nn-2")
+        nn2.failover()
+        nn2.mkdir("/gen2")
+        rt3, d3 = make_client()
+        nn3 = MiniNameNode(rt3, d3, "nn-3")
+        nn3.failover()
+        nn3.mkdir("/gen3")
+        assert nn3.exists("/gen1")
+        assert nn3.exists("/gen2")
+        assert nn3.exists("/gen3")
+        assert nn3.namespace_size() == 4  # root + 3 dirs

@@ -1,0 +1,164 @@
+"""Tests for the dynamic hosting registry (section 4.1's dynamic scheme)."""
+
+import pytest
+
+from repro.objects import TangoList, TangoMap
+from repro.tango.hosting import HostingRegistry
+
+
+REGISTRY_OID = 90
+
+
+class TestRegistryObject:
+    def test_announce_and_query(self, make_runtime):
+        rt = make_runtime()
+        reg = HostingRegistry(rt, oid=REGISTRY_OID)
+        reg.announce("client-a", [1, 2, 3])
+        assert reg.hosted_by("client-a") == (1, 2, 3)
+        assert reg.clients() == ("client-a",)
+
+    def test_announce_accumulates(self, make_runtime):
+        rt = make_runtime()
+        reg = HostingRegistry(rt, oid=REGISTRY_OID)
+        reg.announce("c", [1])
+        reg.announce("c", [2])
+        assert reg.hosted_by("c") == (1, 2)
+
+    def test_retract(self, make_runtime):
+        rt = make_runtime()
+        reg = HostingRegistry(rt, oid=REGISTRY_OID)
+        reg.announce("c", [1, 2])
+        reg.retract("c", [1])
+        assert reg.hosted_by("c") == (2,)
+
+    def test_retract_last_oid_drops_client(self, make_runtime):
+        rt = make_runtime()
+        reg = HostingRegistry(rt, oid=REGISTRY_OID)
+        reg.announce("c", [1])
+        reg.retract("c", [1])
+        assert reg.clients() == ()
+
+    def test_leave(self, make_runtime):
+        rt = make_runtime()
+        reg = HostingRegistry(rt, oid=REGISTRY_OID)
+        reg.announce("c", [1, 2, 3])
+        reg.leave("c")
+        assert reg.hosted_by("c") == ()
+
+    def test_replicated_across_clients(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        r1 = HostingRegistry(rt1, oid=REGISTRY_OID)
+        r2 = HostingRegistry(rt2, oid=REGISTRY_OID)
+        r1.announce("client-a", [1])
+        assert r2.hosted_by("client-a") == (1,)
+
+    def test_checkpoint_round_trip(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        r1 = HostingRegistry(rt1, oid=REGISTRY_OID)
+        r1.announce("c", [1, 2])
+        rt1.query_helper(REGISTRY_OID)
+        clone = HostingRegistry(rt2, oid=REGISTRY_OID + 1)
+        clone.load_checkpoint(r1.get_checkpoint())
+        assert clone._hosts == {"c": {1, 2}}
+
+
+class TestNeedsDecision:
+    def _registry(self, make_runtime):
+        rt = make_runtime()
+        reg = HostingRegistry(rt, oid=REGISTRY_OID)
+        return rt, reg
+
+    def test_no_other_clients(self, make_runtime):
+        _rt, reg = self._registry(make_runtime)
+        reg.announce("me", [1, 2])
+        reg.clients()  # sync the view
+        assert not reg.needs_decision([1], [2], "me")
+
+    def test_consumer_with_full_read_set(self, make_runtime):
+        _rt, reg = self._registry(make_runtime)
+        reg.announce("other", [1, 2])
+        reg.clients()
+        assert not reg.needs_decision([1], [2], "me")
+
+    def test_consumer_missing_read_set(self, make_runtime):
+        """The Figure 6 situation: App2 hosts C (write) but not A (read)."""
+        _rt, reg = self._registry(make_runtime)
+        reg.announce("app2", [2, 3])  # hosts B and C
+        reg.clients()
+        assert reg.needs_decision([1], [3], "app1")  # reads A, writes C
+
+    def test_consumer_not_hosting_writes_is_irrelevant(self, make_runtime):
+        _rt, reg = self._registry(make_runtime)
+        reg.announce("bystander", [7, 8])
+        reg.clients()
+        assert not reg.needs_decision([1], [2], "me")
+
+
+class TestRuntimeIntegration:
+    def test_dynamic_scheme_adds_decision_records(self, make_runtime):
+        """No static marks anywhere; the registry alone triggers the
+        decision record, and the consumer applies via it."""
+        rt1, rt2 = make_runtime(), make_runtime()
+        reg1 = HostingRegistry(rt1, oid=REGISTRY_OID)
+        private = TangoMap(rt1, oid=1)  # NOT statically marked
+        shared1 = TangoList(rt1, oid=2)
+        shared2 = TangoList(rt2, oid=2)
+        reg1.announce(rt1.name, [1, 2])
+        reg1.announce(rt2.name, [2])  # rt2 hosts the write set only
+        reg1.clients()
+        rt1.use_hosting_registry(reg1)
+        private.put("gate", "open")
+        private.get("gate")
+
+        def guarded():
+            if private.get("gate") == "open":
+                shared1.append("item")
+
+        rt1.run_transaction(guarded)
+        assert rt1.stats["decisions_published"] == 1
+        assert shared2.to_list() == ("item",)
+
+    def test_dynamic_scheme_skips_unneeded_decisions(self, make_runtime):
+        """When every consumer hosts the read set, no decision record."""
+        rt1, rt2 = make_runtime(), make_runtime()
+        reg1 = HostingRegistry(rt1, oid=REGISTRY_OID)
+        m1 = TangoMap(rt1, oid=1)
+        l1 = TangoList(rt1, oid=2)
+        TangoMap(rt2, oid=1)
+        TangoList(rt2, oid=2)
+        reg1.announce(rt1.name, [1, 2])
+        reg1.announce(rt2.name, [1, 2])
+        reg1.clients()
+        rt1.use_hosting_registry(reg1)
+        m1.put("k", 1)
+        m1.get("k")
+
+        def tx():
+            _ = m1.get("k")
+            l1.append("x")
+
+        rt1.run_transaction(tx)
+        assert rt1.stats["decisions_published"] == 0
+
+    def test_static_marks_still_respected(self, make_runtime):
+        """The union semantics: a static mark forces the decision even
+        if the registry thinks nobody needs it."""
+
+        class Marked(TangoMap):
+            needs_decision_record = True
+
+        rt1 = make_runtime()
+        reg1 = HostingRegistry(rt1, oid=REGISTRY_OID)
+        reg1.clients()
+        rt1.use_hosting_registry(reg1)
+        marked = Marked(rt1, oid=1)
+        lst = TangoList(rt1, oid=2)
+        marked.put("k", 1)
+        marked.get("k")
+
+        def tx():
+            _ = marked.get("k")
+            lst.append("x")
+
+        rt1.run_transaction(tx)
+        assert rt1.stats["decisions_published"] == 1

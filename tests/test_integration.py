@@ -1,0 +1,236 @@
+"""End-to-end integration scenarios across the whole stack.
+
+Each test is a miniature of a use case from the paper: the job
+scheduler (section 4), elastic read scaling, layered partitioning with
+cross-partition transactions, failure injection during live traffic,
+and the full checkpoint/GC lifecycle.
+"""
+
+import pytest
+
+from repro.corfu import CorfuCluster
+from repro.errors import TransactionAborted
+from repro.objects import (
+    TangoCounter,
+    TangoList,
+    TangoMap,
+    TangoRegister,
+    TangoZK,
+)
+from repro.tango.directory import TangoDirectory
+from repro.tango.runtime import TangoRuntime
+
+
+class TestJobScheduler:
+    """The section 4 running example, replicated on two servers."""
+
+    def _scheduler(self, rt, directory):
+        return (
+            directory.open(TangoMap, "assignments"),
+            directory.open(TangoList, "free-nodes"),
+            directory.open(TangoCounter, "job-ids"),
+        )
+
+    def test_no_double_allocation(self, make_client):
+        rt1, d1 = make_client()
+        rt2, d2 = make_client()
+        a1, f1, c1 = self._scheduler(rt1, d1)
+        a2, f2, c2 = self._scheduler(rt2, d2)
+        for node in ("n1", "n2", "n3"):
+            f1.append(node)
+
+        def schedule(rt, assignments, free, counter):
+            def body():
+                nodes = free.to_list()
+                if not nodes:
+                    return None
+                node = nodes[0]
+                job = counter.value()
+                counter.set(job + 1)
+                free.remove_value(node)
+                assignments.put(str(job), node)
+                return job, node
+
+            return rt.run_transaction(body)
+
+        results = [
+            schedule(rt1, a1, f1, c1),
+            schedule(rt2, a2, f2, c2),
+            schedule(rt1, a1, f1, c1),
+        ]
+        jobs = [r[0] for r in results]
+        nodes = [r[1] for r in results]
+        assert jobs == [0, 1, 2]
+        assert sorted(nodes) == ["n1", "n2", "n3"]
+        assert schedule(rt2, a2, f2, c2) is None  # free list exhausted
+        assert dict(a1.items()) == dict(a2.items())
+
+
+class TestElasticReads:
+    def test_many_views_serve_identical_state(self, big_cluster):
+        writer_rt = TangoRuntime(big_cluster, client_id=1)
+        writer = TangoMap(writer_rt, oid=1)
+        for i in range(50):
+            writer.put(f"k{i}", i)
+        readers = [
+            TangoMap(TangoRuntime(big_cluster, client_id=10 + i), oid=1)
+            for i in range(6)
+        ]
+        for reader in readers:
+            assert reader.get("k25") == 25
+            assert reader.size() == 50
+
+
+class TestLayeredPartitioning:
+    def test_partitioned_maps_with_cross_partition_moves(self, make_client):
+        """Figure 5(d): disjoint partitions + consistent cross moves."""
+        rt1, d1 = make_client()
+        rt2, d2 = make_client()
+        west1 = d1.open(TangoMap, "west")
+        east2 = d2.open(TangoMap, "east")
+        # Client 1 can write the east partition without hosting it.
+        east_remote = TangoMap(rt1, oid=east2.oid, host_view=False)
+        west1.put("user-1", {"dc": "west"})
+        west1.get("user-1")
+
+        def migrate():
+            record = west1.get("user-1")
+            west1.remove("user-1")
+            record["dc"] = "east"
+            east_remote.put("user-1", record)
+
+        rt1.run_transaction(migrate)
+        assert west1.get("user-1") is None
+        assert east2.get("user-1") == {"dc": "east"}
+
+    def test_partition_traffic_isolation(self, make_client):
+        """A partition owner plays only its own stream's records."""
+        rt1, d1 = make_client()
+        rt2, d2 = make_client()
+        mine = d1.open(TangoMap, "mine")
+        other = d2.open(TangoMap, "other")
+        for i in range(20):
+            other.put(f"k{i}", i)
+        d1.names()  # settle the (shared) directory stream first
+        mine.get("x")
+        before = rt1.stats["applied_updates"]
+        mine.put("x", 1)
+        mine.get("x")
+        # rt1 applied only its own update, not the 20 foreign ones.
+        assert rt1.stats["applied_updates"] == before + 1
+
+
+class TestFailureInjectionUnderLoad:
+    def test_storage_failure_mid_workload(self, cluster):
+        rt = TangoRuntime(cluster, client_id=1)
+        m = TangoMap(rt, oid=1)
+        for i in range(10):
+            m.put(f"k{i}", i)
+        cluster.crash_storage(cluster.projection.replica_sets[1].head)
+        for i in range(10, 20):
+            m.put(f"k{i}", i)
+        assert m.size() == 20
+        fresh = TangoMap(TangoRuntime(cluster, client_id=2), oid=1)
+        assert fresh.size() == 20
+
+    def test_sequencer_failure_between_transactions(self, cluster):
+        rt1 = TangoRuntime(cluster, client_id=1)
+        rt2 = TangoRuntime(cluster, client_id=2)
+        m1 = TangoMap(rt1, oid=1)
+        m2 = TangoMap(rt2, oid=1)
+        m1.put("n", 0)
+        m1.get("n")
+        m2.get("n")  # sync both views before transacting
+
+        def bump(m):
+            def body():
+                m.put("n", m.get("n") + 1)
+
+            return body
+
+        rt1.run_transaction(bump(m1))
+        cluster.crash_sequencer()
+        rt2.run_transaction(bump(m2))
+        assert m1.get("n") == m2.get("n") == 2
+
+    def test_client_crash_leaves_recoverable_log(self, cluster):
+        """A client that vanishes mid-append (hole) does not wedge
+        anyone: the hole is filled and playback continues."""
+        rt1 = TangoRuntime(cluster, client_id=1)
+        m1 = TangoMap(rt1, oid=1)
+        m1.put("a", 1)
+        # Simulate a crashed client that reserved an offset for stream 1
+        # and died before writing.
+        cluster.sequencer().increment(stream_ids=(1,))
+        m1.put("b", 2)
+        assert m1.get("b") == 2
+        fresh = TangoMap(TangoRuntime(cluster, client_id=3), oid=1)
+        assert fresh.get("a") == 1 and fresh.get("b") == 2
+
+
+class TestSharedObjectAcrossServices:
+    def test_two_services_share_one_object(self, make_client):
+        """Figure 5(c): different services, one common free list."""
+        rt_sched, d_sched = make_client()
+        rt_backup, d_backup = make_client()
+        free_s = d_sched.open(TangoList, "free")
+        log_s = d_sched.open(TangoList, "sched-log")
+        free_b = d_backup.open(TangoList, "free")
+        done_b = d_backup.open(TangoList, "backups")
+        free_s.append("node-1")
+        # The backup service takes the node, works, and returns it.
+        node = free_b.take_head()
+        assert node == "node-1"
+
+        def put_back():
+            free_b.append(node)
+            done_b.append(node)
+
+        rt_backup.run_transaction(put_back)
+        # The scheduler sees it back, and never saw the backup log.
+        assert free_s.to_list() == ("node-1",)
+        assert not rt_sched.is_hosted(done_b.oid)
+
+
+class TestConsistentSnapshots:
+    def test_cross_object_snapshot_at_offset(self, make_client):
+        rt, directory = make_client()
+        a = directory.open(TangoRegister, "a")
+        b = directory.open(TangoRegister, "b")
+        offsets = []
+        for i in range(5):
+            def both(i=i):
+                a.write(i)
+                b.write(i)
+
+            rt.run_transaction(both)
+            offsets.append(rt.version_of(a.oid))
+        # Any snapshot offset shows a == b (they changed atomically).
+        _rt2, d2 = make_client()
+        for offset in offsets:
+            a2 = d2.open(TangoRegister, "a")
+            b2 = d2.open(TangoRegister, "b")
+            a2.sync_to(offset)
+            b2.sync_to(offset)
+            assert a2._state == b2._state
+            break  # one fresh client per offset would need new runtimes
+
+
+class TestFullLifecycle:
+    def test_write_checkpoint_gc_recover_transact(self, make_client):
+        """The whole arc: build state, checkpoint, trim, recover, keep
+        transacting."""
+        rt, directory = make_client()
+        m = directory.open(TangoMap, "state")
+        for i in range(30):
+            m.put(f"k{i}", i)
+        rt.checkpoint_and_forget(m.oid, directory)
+        rt.checkpoint_and_forget(directory.oid, directory)
+        assert directory.gc() > 0
+
+        _rt2, d2 = make_client()
+        recovered = d2.open(TangoMap, "state")
+        assert recovered.size() == 30
+
+        recovered.put("k30", 30)
+        assert m.get("k30") == 30  # old view keeps in sync too

@@ -1,0 +1,125 @@
+"""Tests for projections and the deterministic offset mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corfu.layout import Projection, ReplicaSet, build_projection
+
+
+class TestReplicaSet:
+    def test_head_and_tail(self):
+        rset = ReplicaSet(("a", "b", "c"))
+        assert rset.head == "a"
+        assert rset.tail == "c"
+        assert len(rset) == 3
+
+    def test_single_node_chain(self):
+        rset = ReplicaSet(("solo",))
+        assert rset.head == rset.tail == "solo"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaSet(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaSet(("a", "a"))
+
+    def test_without(self):
+        rset = ReplicaSet(("a", "b", "c")).without("b")
+        assert rset.nodes == ("a", "c")
+
+
+class TestProjectionMapping:
+    def test_paper_example_striping(self):
+        """Offset 0 -> A:0, offset 1 -> B:0, ... wraps back to A:1."""
+        proj = build_projection(2, 2)
+        set_a, set_b = proj.replica_sets
+        assert proj.map_offset(0) == (set_a, 0)
+        assert proj.map_offset(1) == (set_b, 0)
+        assert proj.map_offset(2) == (set_a, 1)
+        assert proj.map_offset(3) == (set_b, 1)
+
+    def test_negative_offset_rejected(self):
+        proj = build_projection(2, 2)
+        with pytest.raises(ValueError):
+            proj.map_offset(-1)
+
+    def test_inverse_mapping(self):
+        proj = build_projection(9, 2)
+        for offset in range(100):
+            rset, local = proj.map_offset(offset)
+            index = proj.replica_sets.index(rset)
+            assert proj.global_offset(index, local) == offset
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_inverse_property(self, offset):
+        proj = build_projection(9, 2)
+        rset, local = proj.map_offset(offset)
+        index = proj.replica_sets.index(rset)
+        assert proj.global_offset(index, local) == offset
+
+    def test_all_nodes(self):
+        proj = build_projection(3, 2)
+        assert len(proj.all_nodes()) == 6
+        assert len(set(proj.all_nodes())) == 6
+
+
+class TestProjectionValidation:
+    def test_disjoint_sets_required(self):
+        with pytest.raises(ValueError):
+            Projection(
+                0,
+                (ReplicaSet(("a", "b")), ReplicaSet(("b", "c"))),
+                "seq-0",
+            )
+
+    def test_at_least_one_set(self):
+        with pytest.raises(ValueError):
+            Projection(0, (), "seq-0")
+
+
+class TestProjectionChanges:
+    def test_with_sequencer_bumps_epoch(self):
+        proj = build_projection(3, 2)
+        new = proj.with_sequencer("seq-1")
+        assert new.epoch == proj.epoch + 1
+        assert new.sequencer == "seq-1"
+        assert new.replica_sets == proj.replica_sets
+
+    def test_eject_node(self):
+        proj = build_projection(3, 2)
+        victim = proj.replica_sets[1].nodes[0]
+        new = proj.with_node_ejected(victim)
+        assert new.epoch == proj.epoch + 1
+        assert victim not in new.all_nodes()
+        assert len(new.replica_sets[1]) == 1
+
+    def test_eject_unknown_node(self):
+        proj = build_projection(3, 2)
+        with pytest.raises(ValueError):
+            proj.with_node_ejected("nope")
+
+    def test_eject_last_replica_rejected(self):
+        proj = build_projection(1, 1)
+        with pytest.raises(ValueError):
+            proj.with_node_ejected(proj.replica_sets[0].nodes[0])
+
+    def test_mapping_changes_after_ejection(self):
+        """The shrunk chain still serves its offsets."""
+        proj = build_projection(2, 2)
+        victim = proj.replica_sets[0].nodes[0]
+        new = proj.with_node_ejected(victim)
+        rset, local = new.map_offset(0)
+        assert victim not in rset.nodes
+        assert local == 0
+
+
+class TestBuildProjection:
+    def test_paper_deployment(self):
+        """The 18-node, 9x2 deployment of section 6."""
+        proj = build_projection(9, 2)
+        assert len(proj.replica_sets) == 9
+        assert all(len(rs) == 2 for rs in proj.replica_sets)
+        assert len(proj.all_nodes()) == 18

@@ -1,0 +1,73 @@
+"""Tests for the functional-layer load generator."""
+
+import pytest
+
+from repro.bench.loadgen import LoadGenerator, LoadMix, LoadReport
+
+
+class TestLoadMix:
+    def test_pure_read_mix(self):
+        gen = LoadGenerator(
+            num_clients=2, num_keys=50,
+            mix=LoadMix(reads=1, writes=0, transactions=0),
+        )
+        report = gen.run(40)
+        assert report.ops == {"read": 40}
+        assert report.commits == report.aborts == 0
+
+    def test_mixed_workload_hits_every_op(self):
+        gen = LoadGenerator(
+            num_clients=2, num_keys=50,
+            mix=LoadMix(reads=0.4, writes=0.4, transactions=0.2),
+            seed=3,
+        )
+        report = gen.run(120)
+        assert set(report.ops) == {"read", "write", "tx"}
+        assert sum(report.ops.values()) == 120
+
+    def test_transactions_commit_under_low_contention(self):
+        gen = LoadGenerator(
+            num_clients=2, num_keys=10_000,
+            mix=LoadMix(reads=0, writes=0, transactions=1),
+        )
+        report = gen.run(30)
+        assert report.commits + report.aborts == 30
+        assert report.abort_rate() < 0.5  # plenty of keys, few clients
+
+    def test_contention_raises_abort_rate(self):
+        calm = LoadGenerator(
+            num_clients=2, num_keys=10_000,
+            mix=LoadMix(reads=0, writes=0, transactions=1), seed=5,
+        ).run(40)
+        hot = LoadGenerator(
+            num_clients=2, num_keys=4, distribution="uniform",
+            mix=LoadMix(reads=0, writes=0, transactions=1), seed=5,
+        ).run(40)
+        assert hot.abort_rate() >= calm.abort_rate()
+
+
+class TestLoadReport:
+    def test_throughput_and_percentiles(self):
+        report = LoadReport(
+            duration_s=2.0,
+            ops={"read": 10},
+            latencies_ms={"read": [float(i) for i in range(1, 11)]},
+        )
+        assert report.throughput() == 5.0
+        assert report.throughput("read") == 5.0
+        assert report.percentile_ms("read", 50) == 6.0
+        assert report.percentile_ms("read", 99) == 10.0
+        assert report.percentile_ms("ghost", 99) == 0.0
+
+    def test_rows_shape(self):
+        gen = LoadGenerator(num_clients=1, num_keys=20)
+        report = gen.run(30)
+        rows = report.rows()
+        assert rows[-1]["op"] == "TOTAL"
+        assert all("ops_per_sec" in row for row in rows)
+
+    def test_views_consistent_after_load(self):
+        gen = LoadGenerator(num_clients=3, num_keys=30, seed=9)
+        gen.run(90)
+        states = [dict(m.items()) for m in gen.maps]
+        assert states[0] == states[1] == states[2]

@@ -1,0 +1,182 @@
+"""Tests for TangoLock (fencing locks) and TangoGraph (topologies)."""
+
+import pytest
+
+from repro.objects import TangoGraph, TangoLock
+
+
+class TestLockAcquire:
+    def test_acquire_returns_token(self, make_runtime):
+        lock = TangoLock(make_runtime(), oid=1)
+        token = lock.try_acquire("resource", "me")
+        assert isinstance(token, int)
+        assert lock.holder_of("resource") == ("me", token)
+
+    def test_second_acquirer_fails(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        l1, l2 = TangoLock(rt1, oid=1), TangoLock(rt2, oid=1)
+        assert l1.try_acquire("r", "a") is not None
+        assert l2.try_acquire("r", "b") is None
+        assert l2.holder_of("r")[0] == "a"
+
+    def test_reacquire_is_idempotent(self, make_runtime):
+        lock = TangoLock(make_runtime(), oid=1)
+        t1 = lock.try_acquire("r", "me")
+        t2 = lock.try_acquire("r", "me")
+        assert t1 == t2
+
+    def test_independent_locks_do_not_conflict(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        l1, l2 = TangoLock(rt1, oid=1), TangoLock(rt2, oid=1)
+        assert l1.try_acquire("r1", "a") is not None
+        assert l2.try_acquire("r2", "b") is not None
+        assert sorted(l1.held_locks()) == ["r1", "r2"]
+
+    def test_release_then_reacquire(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        l1, l2 = TangoLock(rt1, oid=1), TangoLock(rt2, oid=1)
+        l1.try_acquire("r", "a")
+        l1.release("r", "a")
+        assert l2.try_acquire("r", "b") is not None
+
+    def test_release_by_non_holder_is_noop(self, make_runtime):
+        lock = TangoLock(make_runtime(), oid=1)
+        lock.try_acquire("r", "a")
+        lock.release("r", "intruder")
+        assert lock.holder_of("r")[0] == "a"
+
+
+class TestFencingTokens:
+    def test_tokens_increase_monotonically(self, make_runtime):
+        """The property fenced resources rely on."""
+        rt1, rt2 = make_runtime(), make_runtime()
+        l1, l2 = TangoLock(rt1, oid=1), TangoLock(rt2, oid=1)
+        t1 = l1.try_acquire("r", "a")
+        l1.release("r", "a")
+        t2 = l2.try_acquire("r", "b")
+        l2.release("r", "b")
+        t3 = l1.try_acquire("r", "a")
+        assert t1 < t2 < t3
+
+    def test_break_lock_then_new_token_fences_old(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        l1, l2 = TangoLock(rt1, oid=1), TangoLock(rt2, oid=1)
+        dead_token = l1.try_acquire("r", "crashed-holder")
+        l2.break_lock("r")
+        new_token = l2.try_acquire("r", "recovery")
+        assert new_token > dead_token  # resource-side fencing works
+
+    def test_contended_acquire_exactly_one_winner(self, make_runtime):
+        runtimes = [make_runtime() for _ in range(3)]
+        locks = [TangoLock(rt, oid=1) for rt in runtimes]
+        tokens = [lock.try_acquire("r", f"c{i}") for i, lock in enumerate(locks)]
+        winners = [t for t in tokens if t is not None]
+        assert len(winners) == 1
+
+
+class TestGraphBasics:
+    def test_nodes_and_edges(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        g.add_node("a", attrs={"rack": 1})
+        g.add_edge("a", "b", label={"bw": 10})
+        assert g.has_node("a") and g.has_node("b")
+        assert g.node_attrs("a") == {"rack": 1}
+        assert g.neighbors("a") == ("b",)
+        assert g.edge_label("a", "b") == {"bw": 10}
+        assert g.degree("a") == 1
+        assert g.node_count() == 2
+
+    def test_remove_edge(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        g.add_edge("a", "b")
+        g.remove_edge("a", "b")
+        assert g.neighbors("a") == ()
+        assert g.has_node("b")  # nodes survive edge removal
+
+    def test_remove_node_clears_incident_edges(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        g.add_edge("a", "b")
+        g.add_edge("c", "b")
+        g.remove_node("b")
+        assert not g.has_node("b")
+        assert g.neighbors("a") == ()
+        assert g.neighbors("c") == ()
+
+    def test_replication(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        g1, g2 = TangoGraph(rt1, oid=1), TangoGraph(rt2, oid=1)
+        g1.add_edge("x", "y")
+        assert g2.neighbors("x") == ("y",)
+
+
+class TestReachability:
+    def _chain(self, graph, names):
+        for src, dst in zip(names, names[1:]):
+            graph.add_edge(src, dst)
+
+    def test_path_found(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        self._chain(g, ["a", "b", "c", "d"])
+        assert g.reachable("a", "d")
+        assert not g.reachable("d", "a")  # directed
+
+    def test_self_reachable(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        g.add_node("a")
+        assert g.reachable("a", "a")
+
+    def test_max_hops(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        self._chain(g, ["a", "b", "c", "d"])
+        assert g.reachable("a", "d", max_hops=3)
+        assert not g.reachable("a", "d", max_hops=2)
+
+    def test_missing_nodes(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        g.add_node("a")
+        assert not g.reachable("a", "ghost")
+        assert not g.reachable("ghost", "a")
+
+    def test_cycle_terminates(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        assert not g.reachable("a", "z")
+
+
+class TestGraphTransactions:
+    def test_move_edge_atomic(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        g.add_edge("switch", "rack-1", label={"bw": 40})
+        g.move_edge("switch", "rack-1", "rack-2")
+        assert g.neighbors("switch") == ("rack-2",)
+        assert g.edge_label("switch", "rack-2") == {"bw": 40}
+
+    def test_move_missing_edge_raises(self, make_runtime):
+        g = TangoGraph(make_runtime(), oid=1)
+        g.add_node("switch")
+        with pytest.raises(KeyError):
+            g.move_edge("switch", "nowhere", "rack-1")
+
+    def test_disjoint_subgraph_edits_commute(self, make_runtime):
+        """Fine-grained keys: edits on different source nodes never
+        conflict."""
+        rt1, rt2 = make_runtime(), make_runtime()
+        g1, g2 = TangoGraph(rt1, oid=1), TangoGraph(rt2, oid=1)
+        g1.add_node("a")
+        g1.add_node("b")
+        g1.neighbors("a")
+        rt1.begin_tx()
+        _ = g1.neighbors("a")
+        g1.add_edge("a", "x")
+        g2.add_edge("b", "y")  # other region, within the window
+        assert rt1.end_tx() is True
+
+    def test_provenance_pattern(self, make_runtime):
+        """Derivation chains: ancestry via reachable()."""
+        g = TangoGraph(make_runtime(), oid=1)
+        g.add_edge("raw-data", "cleaned", label="normalize")
+        g.add_edge("cleaned", "features", label="extract")
+        g.add_edge("features", "model-v1", label="train")
+        assert g.reachable("raw-data", "model-v1")
+        assert g.edge_label("features", "model-v1") == "train"

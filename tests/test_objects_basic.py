@@ -1,0 +1,305 @@
+"""Per-object behaviour tests for the standard library of Tango objects."""
+
+import pytest
+
+from repro.objects import (
+    TangoCounter,
+    TangoIndexedMap,
+    TangoList,
+    TangoMap,
+    TangoQueue,
+    TangoRegister,
+    TangoTreeSet,
+)
+
+
+class TestRegister:
+    def test_initial_value(self, make_runtime):
+        reg = TangoRegister(make_runtime(), oid=1)
+        assert reg.read() is None
+
+    def test_write_read(self, make_runtime):
+        reg = TangoRegister(make_runtime(), oid=1)
+        reg.write({"nested": [1, 2, 3]})
+        assert reg.read() == {"nested": [1, 2, 3]}
+
+    def test_last_write_wins(self, make_runtime):
+        reg = TangoRegister(make_runtime(), oid=1)
+        for i in range(5):
+            reg.write(i)
+        assert reg.read() == 4
+
+    def test_checkpoint_round_trip(self, make_runtime):
+        reg = TangoRegister(make_runtime(), oid=1)
+        reg.write("state")
+        reg.read()
+        other = TangoRegister(make_runtime(), oid=2)
+        other.load_checkpoint(reg.get_checkpoint())
+        assert other._state == "state"
+
+
+class TestCounter:
+    def test_increment_decrement(self, make_runtime):
+        ctr = TangoCounter(make_runtime(), oid=1)
+        ctr.increment()
+        ctr.increment(5)
+        ctr.decrement(2)
+        assert ctr.value() == 4
+
+    def test_set(self, make_runtime):
+        ctr = TangoCounter(make_runtime(), oid=1)
+        ctr.set(100)
+        ctr.increment()
+        assert ctr.value() == 101
+
+    def test_increments_commute_across_clients(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        c1, c2 = TangoCounter(rt1, oid=1), TangoCounter(rt2, oid=1)
+        c1.increment(10)
+        c2.increment(20)
+        assert c1.value() == c2.value() == 30
+
+    def test_next_id_unique_across_clients(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        c1, c2 = TangoCounter(rt1, oid=1), TangoCounter(rt2, oid=1)
+        ids = [c1.next_id(), c2.next_id(), c1.next_id(), c2.next_id()]
+        assert ids == [0, 1, 2, 3]
+
+
+class TestMap:
+    def test_put_get_remove(self, make_runtime):
+        m = TangoMap(make_runtime(), oid=1)
+        m.put("a", [1, 2])
+        assert m.get("a") == [1, 2]
+        m.remove("a")
+        assert m.get("a") is None
+        assert m.get("a", default="gone") == "gone"
+
+    def test_contains_size_keys_items(self, make_runtime):
+        m = TangoMap(make_runtime(), oid=1)
+        m.put("a", 1)
+        m.put("b", 2)
+        assert m.contains("a")
+        assert not m.contains("z")
+        assert m.size() == 2
+        assert sorted(m.keys()) == ["a", "b"]
+        assert dict(m.items()) == {"a": 1, "b": 2}
+
+    def test_clear(self, make_runtime):
+        m = TangoMap(make_runtime(), oid=1)
+        m.put("a", 1)
+        m.clear()
+        assert m.size() == 0
+
+    def test_remove_absent_is_noop(self, make_runtime):
+        m = TangoMap(make_runtime(), oid=1)
+        m.remove("never-there")
+        assert m.size() == 0
+
+
+class TestIndexedMap:
+    def test_view_stores_offsets_not_values(self, make_runtime):
+        """Section 3.1: the view is an index over log-structured storage."""
+        m = TangoIndexedMap(make_runtime(), oid=1)
+        m.put("a", "big-value")
+        assert m.get("a") == "big-value"
+        offset = m.offset_of("a")
+        assert isinstance(offset, int) and offset >= 0
+        assert m._index == {"a": offset}  # no value in RAM
+
+    def test_get_issues_random_read(self, make_runtime):
+        rt = make_runtime()
+        m = TangoIndexedMap(rt, oid=1)
+        m.put("a", 1)
+        m.get("a")  # warm
+        reads_before = rt.streams.corfu.reads
+        # Evict the entry from the stream cache to force a log read.
+        rt.streams._cache.clear()
+        assert m.get("a") == 1
+        assert rt.streams.corfu.reads > reads_before
+
+    def test_overwrite_moves_index(self, make_runtime):
+        m = TangoIndexedMap(make_runtime(), oid=1)
+        m.put("a", "v1")
+        first = m.offset_of("a")
+        m.put("a", "v2")
+        assert m.offset_of("a") > first
+        assert m.get("a") == "v2"
+
+    def test_remove(self, make_runtime):
+        m = TangoIndexedMap(make_runtime(), oid=1)
+        m.put("a", 1)
+        m.remove("a")
+        assert m.get("a") is None
+        assert m.size() == 0
+
+    def test_indexed_get_of_transactional_put(self, make_runtime):
+        """Inline TX updates are dereferenced via the commit record."""
+        rt = make_runtime()
+        m = TangoIndexedMap(rt, oid=1)
+        rt.begin_tx()
+        m.put("a", "tx-value")
+        assert rt.end_tx() is True
+        assert m.get("a") == "tx-value"
+
+
+class TestList:
+    def test_append_and_read(self, make_runtime):
+        lst = TangoList(make_runtime(), oid=1)
+        lst.append("a")
+        lst.append("b")
+        assert lst.to_list() == ("a", "b")
+        assert lst.get(1) == "b"
+        assert lst.head() == "a"
+        assert lst.size() == 2
+        assert lst.contains("a")
+
+    def test_insert_clamps(self, make_runtime):
+        lst = TangoList(make_runtime(), oid=1)
+        lst.append("a")
+        lst.insert(99, "z")  # beyond the end: clamp to append
+        lst.insert(-5, "x")  # before the start: clamp to prepend
+        assert lst.to_list() == ("x", "a", "z")
+
+    def test_remove_value(self, make_runtime):
+        lst = TangoList(make_runtime(), oid=1)
+        for v in ("a", "b", "a"):
+            lst.append(v)
+        lst.remove_value("a")
+        assert lst.to_list() == ("b", "a")
+        lst.remove_value("never")  # no-op
+        assert lst.size() == 2
+
+    def test_take_head_exactly_once(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        l1, l2 = TangoList(rt1, oid=1), TangoList(rt2, oid=1)
+        for i in range(4):
+            l1.append(i)
+        taken = [l1.take_head(), l2.take_head(), l1.take_head(), l2.take_head()]
+        assert taken == [0, 1, 2, 3]
+        assert l1.take_head() is None
+
+    def test_clear(self, make_runtime):
+        lst = TangoList(make_runtime(), oid=1)
+        lst.append(1)
+        lst.clear()
+        assert lst.to_list() == ()
+
+
+class TestTreeSet:
+    def test_sorted_order(self, make_runtime):
+        ts = TangoTreeSet(make_runtime(), oid=1)
+        for v in (5, 1, 3, 2, 4):
+            ts.add(v)
+        assert ts.to_list() == (1, 2, 3, 4, 5)
+
+    def test_duplicates_ignored(self, make_runtime):
+        ts = TangoTreeSet(make_runtime(), oid=1)
+        ts.add(1)
+        ts.add(1)
+        assert ts.size() == 1
+
+    def test_first_last(self, make_runtime):
+        ts = TangoTreeSet(make_runtime(), oid=1)
+        assert ts.first() is None and ts.last() is None
+        for v in (10, 30, 20):
+            ts.add(v)
+        assert ts.first() == 10
+        assert ts.last() == 30
+
+    def test_floor_ceiling(self, make_runtime):
+        ts = TangoTreeSet(make_runtime(), oid=1)
+        for v in (10, 20, 30):
+            ts.add(v)
+        assert ts.floor(25) == 20
+        assert ts.floor(20) == 20
+        assert ts.floor(5) is None
+        assert ts.ceiling(25) == 30
+        assert ts.ceiling(30) == 30
+        assert ts.ceiling(35) is None
+
+    def test_range_query(self, make_runtime):
+        """The ordered query a plain coordination service can't do."""
+        ts = TangoTreeSet(make_runtime(), oid=1)
+        for v in range(0, 100, 10):
+            ts.add(v)
+        assert ts.range(25, 65) == (30, 40, 50, 60)
+
+    def test_discard(self, make_runtime):
+        ts = TangoTreeSet(make_runtime(), oid=1)
+        ts.add(1)
+        ts.discard(1)
+        ts.discard(99)  # absent: no-op
+        assert not ts.contains(1)
+
+    def test_string_elements(self, make_runtime):
+        ts = TangoTreeSet(make_runtime(), oid=1)
+        for name in ("carol", "alice", "bob"):
+            ts.add(name)
+        assert ts.to_list() == ("alice", "bob", "carol")
+
+
+class TestQueue:
+    def test_fifo_order(self, make_runtime):
+        q = TangoQueue(make_runtime(), oid=1)
+        for i in range(3):
+            q.enqueue(i)
+        assert [q.dequeue() for _ in range(3)] == [0, 1, 2]
+
+    def test_dequeue_empty(self, make_runtime):
+        q = TangoQueue(make_runtime(), oid=1)
+        assert q.dequeue() is None
+
+    def test_peek_does_not_consume(self, make_runtime):
+        q = TangoQueue(make_runtime(), oid=1)
+        q.enqueue("x")
+        assert q.peek() == "x"
+        assert q.size() == 1
+
+    def test_concurrent_consumers_each_item_once(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        q1, q2 = TangoQueue(rt1, oid=1), TangoQueue(rt2, oid=1)
+        for i in range(6):
+            q1.enqueue(i)
+        taken = []
+        for i in range(6):
+            consumer = q1 if i % 2 == 0 else q2
+            taken.append(consumer.dequeue())
+        assert sorted(taken) == list(range(6))
+        assert q1.dequeue() is None
+
+    def test_producer_without_view(self, make_runtime):
+        """The paper's producer-consumer pattern (section 4.1)."""
+        rt_prod, rt_cons = make_runtime(), make_runtime()
+        producer = TangoQueue(rt_prod, oid=1, host_view=False)
+        consumer = TangoQueue(rt_cons, oid=1)
+        producer.enqueue("job")
+        assert consumer.dequeue() == "job"
+
+    def test_producer_view_accessors_rejected(self, make_runtime):
+        from repro.errors import TangoError
+
+        producer = TangoQueue(make_runtime(), oid=1, host_view=False)
+        with pytest.raises(TangoError):
+            producer.peek()
+
+
+class TestCheckpointableObjects:
+    @pytest.mark.parametrize(
+        "cls,mutate,probe",
+        [
+            (TangoMap, lambda o: o.put("k", 1), lambda o: o._map),
+            (TangoList, lambda o: o.append(1), lambda o: o._items),
+            (TangoTreeSet, lambda o: o.add(1), lambda o: o._items),
+            (TangoQueue, lambda o: o.enqueue(1), lambda o: o._items),
+            (TangoCounter, lambda o: o.increment(), lambda o: o._value),
+        ],
+    )
+    def test_checkpoint_state_round_trip(self, make_runtime, cls, mutate, probe):
+        rt1, rt2 = make_runtime(), make_runtime()
+        obj = cls(rt1, oid=1)
+        mutate(obj)
+        rt1.query_helper(1)
+        clone = cls(rt2, oid=2)
+        clone.load_checkpoint(obj.get_checkpoint())
+        assert probe(clone) == probe(obj)

@@ -1,0 +1,148 @@
+"""Multi-client semantics for the object library under interleavings."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.objects import (
+    TangoCounter,
+    TangoList,
+    TangoMap,
+    TangoQueue,
+    TangoTreeSet,
+)
+
+
+def _pair(make_runtime, cls, oid=1):
+    rt1, rt2 = make_runtime(), make_runtime()
+    return rt1, cls(rt1, oid=oid), rt2, cls(rt2, oid=oid)
+
+
+class TestMapConcurrency:
+    def test_interleaved_puts_converge(self, make_runtime):
+        _rt1, m1, _rt2, m2 = _pair(make_runtime, TangoMap)
+        for i in range(10):
+            (m1 if i % 2 else m2).put(f"k{i}", i)
+        assert dict(m1.items()) == dict(m2.items())
+        assert m1.size() == 10
+
+    def test_last_writer_wins_per_key(self, make_runtime):
+        _rt1, m1, _rt2, m2 = _pair(make_runtime, TangoMap)
+        m1.put("k", "from-1")
+        m2.put("k", "from-2")
+        assert m1.get("k") == m2.get("k") == "from-2"
+
+    def test_read_modify_write_needs_tx(self, make_runtime):
+        """Without a transaction, concurrent RMW loses updates; with
+        one, it never does — the motivating example for OCC."""
+        rt1, m1, rt2, m2 = _pair(make_runtime, TangoMap)
+        m1.put("n", 0)
+        m1.get("n")
+        m2.get("n")
+        # Unprotected RMW: both read 0, both write 1 — a lost update.
+        v1 = m1.get("n")
+        v2 = m2.get("n")
+        m1.put("n", v1 + 1)
+        m2.put("n", v2 + 1)
+        assert m1.get("n") == 1  # one increment lost
+        # Transactional RMW: nothing lost.
+        for rt, m in ((rt1, m1), (rt2, m2)):
+            rt.run_transaction(lambda m=m: m.put("n", m.get("n") + 1))
+        assert m2.get("n") == 3
+
+
+class TestListConcurrency:
+    def test_append_order_is_log_order(self, make_runtime):
+        _rt1, l1, _rt2, l2 = _pair(make_runtime, TangoList)
+        l1.append("a")
+        l2.append("b")
+        l1.append("c")
+        assert l1.to_list() == l2.to_list() == ("a", "b", "c")
+
+    def test_take_head_disjoint_across_clients(self, make_runtime):
+        _rt1, l1, _rt2, l2 = _pair(make_runtime, TangoList)
+        for i in range(10):
+            l1.append(i)
+        taken1 = [l1.take_head() for _ in range(5)]
+        taken2 = [l2.take_head() for _ in range(5)]
+        assert sorted(taken1 + taken2) == list(range(10))
+
+
+class TestCounterConcurrency:
+    def test_commutative_increments(self, make_runtime):
+        _rt1, c1, _rt2, c2 = _pair(make_runtime, TangoCounter)
+        for _ in range(5):
+            c1.increment(2)
+            c2.decrement(1)
+        assert c1.value() == c2.value() == 5
+
+    def test_next_id_under_contention(self, make_runtime):
+        rt1, c1, rt2, c2 = _pair(make_runtime, TangoCounter)
+        ids = []
+        for i in range(8):
+            ids.append((c1 if i % 2 else c2).next_id())
+        assert ids == list(range(8))
+
+
+class TestTreeSetConcurrency:
+    def test_add_discard_races_converge(self, make_runtime):
+        _rt1, t1, _rt2, t2 = _pair(make_runtime, TangoTreeSet)
+        t1.add(5)
+        t2.add(5)  # duplicate from another client
+        t2.add(3)
+        t1.discard(5)
+        assert t1.to_list() == t2.to_list() == (3,)
+
+    def test_min_tracking_across_clients(self, make_runtime):
+        """The 'oldest inserted name' query from section 2."""
+        _rt1, t1, _rt2, t2 = _pair(make_runtime, TangoTreeSet)
+        t1.add("server-042")
+        t2.add("server-007")
+        t1.add("server-150")
+        assert t2.first() == "server-007"
+        t2.discard("server-007")
+        assert t1.first() == "server-042"
+
+
+class TestQueueConcurrency:
+    def test_producers_and_consumers(self, make_runtime):
+        rt_p1, q_p1, rt_p2, q_p2 = _pair(make_runtime, TangoQueue)
+        rt_c, q_c = make_runtime(), None
+        q_c = TangoQueue(rt_c, oid=1)
+        q_p1.enqueue("a")
+        q_p2.enqueue("b")
+        q_p1.enqueue("c")
+        assert [q_c.dequeue() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_dequeue_race_on_last_item(self, make_runtime):
+        _rt1, q1, _rt2, q2 = _pair(make_runtime, TangoQueue)
+        q1.enqueue("only")
+        first = q1.dequeue()
+        second = q2.dequeue()
+        assert first == "only"
+        assert second is None
+
+
+class TestThreadLocalTransactions:
+    def test_contexts_are_per_thread(self, make_runtime):
+        """BeginTX puts the context in thread-local storage (§3.2)."""
+        import threading
+
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        m.put("k", 0)
+        m.get("k")
+        results = {}
+
+        def worker():
+            # This thread sees no open transaction even though the main
+            # thread has one.
+            results["tx_in_thread"] = rt._current_tx()
+
+        rt.begin_tx()
+        _ = m.get("k")
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert results["tx_in_thread"] is None
+        assert rt._current_tx() is not None
+        rt.abort_tx()

@@ -1,0 +1,119 @@
+"""Tests for the runtime's observability hooks."""
+
+import pytest
+
+from repro.objects import TangoList, TangoMap
+from repro.tango.runtime import TangoRuntime
+
+
+class TestSubscribe:
+    def test_unknown_event_rejected(self, make_runtime):
+        rt = make_runtime()
+        with pytest.raises(ValueError):
+            rt.subscribe("nonsense", lambda p: None)
+
+    def test_apply_events(self, make_runtime):
+        rt = make_runtime()
+        events = []
+        rt.subscribe("apply", events.append)
+        m = TangoMap(rt, oid=1)
+        m.put("a", 1)
+        m.get("a")
+        assert len(events) == 1
+        assert events[0]["oid"] == 1
+        assert events[0]["key"] == b"a"
+        assert events[0]["offset"] == 0
+
+    def test_commit_and_abort_events(self, make_runtime):
+        rt1, rt2 = make_runtime(), make_runtime()
+        commits, aborts = [], []
+        rt1.subscribe("commit", commits.append)
+        rt1.subscribe("abort", aborts.append)
+        m1, m2 = TangoMap(rt1, oid=1), TangoMap(rt2, oid=1)
+        m1.put("k", 0)
+        m1.get("k")
+        rt1.run_transaction(lambda: m1.put("k", 1))  # write-only: commits
+        # A conflicting transaction aborts.
+        rt1.begin_tx()
+        _ = m1.get("k")
+        m1.put("k", 2)
+        m2.put("k", 99)
+        assert rt1.end_tx() is False
+        assert len(aborts) == 1
+        assert "tx_id" in aborts[0] and "offset" in aborts[0]
+        assert len(commits) >= 1
+
+    def test_consumer_sees_commit_events_too(self, make_runtime):
+        """Decisions are per-client: consumers emit for consumed txes."""
+        rt1, rt2 = make_runtime(), make_runtime()
+        m1, m2 = TangoMap(rt1, oid=1), TangoMap(rt2, oid=1)
+        seen = []
+        rt2.subscribe("commit", seen.append)
+        rt1.run_transaction(lambda: m1.put("k", 1))
+        m2.get("k")  # plays the commit record
+        assert len(seen) == 1
+
+    def test_decision_events(self, make_runtime):
+        class Marked(TangoMap):
+            needs_decision_record = True
+
+        rt1, rt2 = make_runtime(), make_runtime()
+        decisions = []
+        rt1.subscribe("decision", decisions.append)
+        private = Marked(rt1, oid=1)
+        lst1 = TangoList(rt1, oid=2)
+        TangoList(rt2, oid=2)
+        private.put("g", 1)
+        private.get("g")
+
+        def tx():
+            _ = private.get("g")
+            lst1.append("x")
+
+        rt1.run_transaction(tx)
+        assert decisions == [{"tx_id": decisions[0]["tx_id"], "committed": True}]
+
+    def test_checkpoint_events(self, make_runtime):
+        rt = make_runtime()
+        events = []
+        rt.subscribe("checkpoint", events.append)
+        m = TangoMap(rt, oid=1)
+        m.put("a", 1)
+        m.get("a")
+        offset = rt.checkpoint(1)
+        assert events == [{"oid": 1, "offset": offset, "covers": 0}]
+
+    def test_multiple_subscribers(self, make_runtime):
+        rt = make_runtime()
+        a, b = [], []
+        rt.subscribe("apply", a.append)
+        rt.subscribe("apply", b.append)
+        m = TangoMap(rt, oid=1)
+        m.put("k", 1)
+        m.get("k")
+        assert len(a) == len(b) == 1
+
+    def test_no_subscribers_no_overhead_path(self, make_runtime):
+        """The hot path skips emission entirely with no subscribers."""
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        m.put("k", 1)
+        m.get("k")  # must simply not raise / not emit
+
+    def test_metrics_pattern(self, make_runtime):
+        """The intended usage: cheap counters."""
+        rt = make_runtime()
+        applied_by_oid = {}
+        rt.subscribe(
+            "apply",
+            lambda p: applied_by_oid.__setitem__(
+                p["oid"], applied_by_oid.get(p["oid"], 0) + 1
+            ),
+        )
+        m1, m2 = TangoMap(rt, oid=1), TangoMap(rt, oid=2)
+        m1.put("a", 1)
+        m2.put("b", 2)
+        m2.put("c", 3)
+        m1.get("a")  # plays to m1's marker only
+        m2.get("c")  # plays the rest
+        assert applied_by_oid == {1: 1, 2: 2}

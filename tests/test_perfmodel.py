@@ -1,0 +1,137 @@
+"""Sanity tests for the testbed performance model.
+
+These are fast, coarse checks that the model's calibrated anchors
+actually hold (the full curves live in ``benchmarks/``): the sequencer
+plateau, the single-client read/write rates, the log-saturation shape.
+"""
+
+import pytest
+
+from repro.bench.perfmodel import DEFAULT_PARAMS, ModeledCluster
+from repro.bench import experiments as E
+from repro.sim.engine import Counter, Simulator
+
+
+class TestCostPaths:
+    def test_sequencer_rpc_sub_millisecond(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_clients=1)
+        assert cluster.sequencer_rpc(0) < 1e-3
+
+    def test_append_offsets_stripe(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_clients=1)
+        _d1, o1 = cluster.append_entry(0)
+        _d2, o2 = cluster.append_entry(0)
+        assert o2 == o1 + 1
+
+    def test_append_costs_more_than_read(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_clients=1)
+        read = cluster.linearizable_read(0)
+        append, _ = cluster.append_entry(0)
+        assert append > read
+
+    def test_playback_scales_with_records(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_clients=1)
+        one = cluster.playback_records(0, 1)
+        sim2 = Simulator()
+        cluster2 = ModeledCluster(sim2, num_clients=1)
+        many = cluster2.playback_records(0, 100)
+        # Fixed per-hop latency amortizes; the variable part scales.
+        assert many > one * 20
+
+
+class TestCalibrationAnchors:
+    def test_fig2_plateau_near_570k(self):
+        rows = E.fig2_sequencer(client_counts=(32,), duration=0.02, warmup=0.005)
+        assert rows[0]["kreq_per_sec"] == pytest.approx(570, rel=0.05)
+
+    def test_fig2_small_client_counts_linear(self):
+        rows = E.fig2_sequencer(client_counts=(1, 2, 4), duration=0.02, warmup=0.005)
+        r1, r2, r4 = (r["kreq_per_sec"] for r in rows)
+        assert r2 == pytest.approx(2 * r1, rel=0.1)
+        assert r4 == pytest.approx(4 * r1, rel=0.1)
+
+    def test_write_only_anchor_38k(self):
+        rows = E.fig8_single_view(
+            write_ratios=(1.0,), windows=(256,), duration=0.03, warmup=0.01
+        )
+        # The anchor is 38K at steady state; the shortened test run
+        # tolerates some warmup inflation.
+        assert rows[0]["kops_per_sec"] == pytest.approx(38, rel=0.25)
+
+    def test_read_only_anchor(self):
+        """135K+ sub-millisecond reads/sec on a single view."""
+        rows = E.fig8_single_view(
+            write_ratios=(0.0,), windows=(32,), duration=0.03, warmup=0.01
+        )
+        assert rows[0]["kops_per_sec"] > 100
+        assert rows[0]["latency_ms"] < 1.0
+
+    def test_elasticity_small_log_saturates(self):
+        rows = E.fig8_elasticity(
+            reader_counts=(4, 16), duration=0.03, warmup=0.01
+        )
+        by = {(r["log"], r["readers"]): r["reads_kops"] for r in rows}
+        # The big log scales ~linearly; the small log stops short.
+        assert by[("18-server", 16)] > 3.5 * by[("18-server", 4)]
+        assert by[("2-server", 16)] < 3.0 * by[("2-server", 4)]
+
+    def test_partitions_saturate_small_log(self):
+        rows = E.fig10_partitions(
+            node_counts=(18,), duration=0.03, warmup=0.01
+        )
+        by = {r["log"]: r["ktx_per_sec"] for r in rows}
+        assert by["6-server"] == pytest.approx(150, rel=0.1)
+        assert by["18-server"] > by["6-server"]
+
+    def test_fig9_playback_bottleneck(self):
+        """Full replication stops scaling; goodput ordering holds."""
+        rows = E.fig9_tx_goodput(
+            node_counts=(2, 8),
+            key_counts=(100, 1_000_000),
+            distributions=("uniform",),
+            duration=0.03,
+            warmup=0.01,
+        )
+        by = {(r["keys"], r["nodes"]): r for r in rows}
+        # 4x the nodes buys much less than 4x the throughput.
+        assert (
+            by[(100, 8)]["ktx_per_sec"] < 2.5 * by[(100, 2)]["ktx_per_sec"]
+        )
+        # More keys -> higher goodput.
+        assert (
+            by[(1_000_000, 2)]["goodput_pct"] > by[(100, 2)]["goodput_pct"]
+        )
+
+    def test_fig9_zipf_worse_than_uniform(self):
+        rows = E.fig9_tx_goodput(
+            node_counts=(3,),
+            key_counts=(10_000,),
+            distributions=("zipf", "uniform"),
+            duration=0.03,
+            warmup=0.01,
+        )
+        by = {r["distribution"]: r["goodput_pct"] for r in rows}
+        assert by["zipf"] < by["uniform"]
+        assert by["uniform"] > 90
+
+    def test_fig10_cross_partition_degrades_gracefully(self):
+        rows = E.fig10_cross_partition(
+            cross_pcts=(0, 100), duration=0.03, warmup=0.01
+        )
+        by = {r["cross_pct"]: r for r in rows}
+        # Both protocols lose throughput, neither collapses.
+        for proto in ("tango_ktx", "twopl_ktx"):
+            assert by[100][proto] < by[0][proto]
+            assert by[100][proto] > 0.25 * by[0][proto]
+
+    def test_fig10_shared_object_knee(self):
+        rows = E.fig10_shared_object(
+            shared_pcts=(0, 2, 100), duration=0.03, warmup=0.01
+        )
+        by = {r["shared_pct"]: r["ktx_per_sec"] for r in rows}
+        assert by[2] < by[0]  # immediate drop
+        assert by[100] < by[2]  # then keeps degrading

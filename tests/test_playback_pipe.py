@@ -1,0 +1,133 @@
+"""Unit tests for the model's playback pipeline and cost paths.
+
+The :class:`_PlaybackPipe` implements the marker rule that makes
+Figure 8's linearizable reads behave (a read waits only for entries
+that existed at its check), and the ``ModeledCluster`` cost paths are
+what every figure's curves are built from. Both deserve direct tests,
+not just end-to-end curve assertions.
+"""
+
+import pytest
+
+from repro.bench.experiments import _PlaybackPipe
+from repro.bench.perfmodel import ModeledCluster
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    cluster = ModeledCluster(sim, num_sets=3, replication=2, num_clients=2)
+    pipe = _PlaybackPipe(sim, cluster, client=0, window=4)
+    sim.spawn(pipe.pump())
+    return sim, cluster, pipe
+
+
+class TestPlaybackPipe:
+    def test_fetch_completes(self, rig):
+        sim, _cluster, pipe = rig
+        pipe.enqueue(0)
+        sim.run(until=0.1)
+        assert pipe.completed == 1
+
+    def test_marker_semantics(self, rig):
+        """A waiter for mark M wakes once M entries completed, even as
+        later entries keep arriving (the overlapping-fetch bug that the
+        first model version had)."""
+        sim, _cluster, pipe = rig
+        woke_at = []
+
+        def reader():
+            pipe.enqueue(0)
+            pipe.enqueue(1)
+            mark = pipe.mark()
+            assert mark == 2
+            yield from pipe.wait_mark(mark)
+            woke_at.append(sim.now)
+
+        def late_writer():
+            while True:
+                yield 100e-6
+                pipe.enqueue(99)  # a steady stream of later arrivals
+
+        sim.spawn(reader())
+        sim.spawn(late_writer())
+        sim.run(until=0.05)
+        assert woke_at, "reader starved despite its mark being reached"
+        assert woke_at[0] < 0.01
+
+    def test_window_bounds_inflight(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_sets=3, replication=2, num_clients=1)
+        pipe = _PlaybackPipe(sim, cluster, client=0, window=2)
+        sim.spawn(pipe.pump())
+        for offset in range(10):
+            pipe.enqueue(offset)
+        observed = []
+
+        def monitor():
+            while pipe.completed < 10:
+                observed.append(pipe._inflight)
+                yield 10e-6
+
+        sim.spawn(monitor())
+        sim.run(until=0.2)
+        assert pipe.completed == 10
+        assert max(observed) <= 2
+
+    def test_throughput_bound_by_shared_servers(self, rig):
+        """Pipelining hides latency but not server occupancy: the
+        completion rate converges to the per-entry CPU cost."""
+        sim, cluster, pipe = rig
+        for offset in range(2000):
+            pipe.enqueue(offset)
+        sim.run(until=0.05)
+        # apply_cpu * batch = 100us per entry -> ~10K entries/s, so a
+        # 50ms window completes ~500 of the 2000 queued entries.
+        assert 300 <= pipe.completed <= 700
+
+
+class TestModeledClusterPaths:
+    def test_chain_writes_hit_every_replica(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_sets=1, replication=2, num_clients=1)
+        cluster.append_entry(0)
+        assert cluster.ssd[(0, 0)].requests == 1
+        assert cluster.ssd[(0, 1)].requests == 1
+
+    def test_appends_stripe_chains(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_sets=3, replication=2, num_clients=1)
+        for _ in range(6):
+            cluster.append_entry(0)
+        for chain in range(3):
+            assert cluster.ssd[(chain, 0)].requests == 2
+
+    def test_tail_reads_converge_on_one_nic(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_sets=1, replication=2, num_clients=1)
+        for offset in range(10):
+            cluster.read_entry(0, offset, tail=True)
+        tail_nic = cluster.storage_nic[(0, 1)]
+        head_nic = cluster.storage_nic[(0, 0)]
+        assert tail_nic.tx.server.requests == 10
+        assert head_nic.tx.server.requests == 0
+
+    def test_balanced_reads_spread_replicas(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_sets=1, replication=2, num_clients=1)
+        for offset in range(10):
+            cluster.read_entry(0, offset, tail=False)
+        assert cluster.ssd[(0, 0)].requests == 5
+        assert cluster.ssd[(0, 1)].requests == 5
+
+    def test_batched_op_amortizes_sequencer(self):
+        sim = Simulator()
+        cluster = ModeledCluster(sim, num_sets=3, replication=2, num_clients=1)
+        busy_before = cluster.seq_cpu.busy_time
+        for _ in range(4):  # one batch worth of ops
+            cluster.append_op(0)
+        one_increment = cluster.params.seq_service
+        assert cluster.seq_cpu.busy_time - busy_before == pytest.approx(
+            one_increment, rel=1e-6
+        )

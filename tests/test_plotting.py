@@ -1,0 +1,67 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.bench.plotting import ascii_chart, series_from_rows
+
+
+class TestSeriesFromRows:
+    def test_single_series(self):
+        rows = [{"x": 2, "y": 20}, {"x": 1, "y": 10}]
+        series = series_from_rows(rows, "x", "y")
+        assert series == {"y": [(1.0, 10.0), (2.0, 20.0)]}  # sorted by x
+
+    def test_grouped_series(self):
+        rows = [
+            {"x": 1, "y": 10, "log": "big"},
+            {"x": 1, "y": 5, "log": "small"},
+            {"x": 2, "y": 20, "log": "big"},
+        ]
+        series = series_from_rows(rows, "x", "y", group_key="log")
+        assert set(series) == {"big", "small"}
+        assert series["big"] == [(1.0, 10.0), (2.0, 20.0)]
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="t")
+
+    def test_renders_all_points(self):
+        chart = ascii_chart(
+            {"a": [(0, 0), (1, 5), (2, 10)]}, width=30, height=8
+        )
+        assert chart.count("o") >= 3 + 1  # points + legend glyph
+
+    def test_distinct_glyphs_per_series(self):
+        chart = ascii_chart(
+            {"first": [(0, 1)], "second": [(1, 2)]}, width=20, height=6
+        )
+        assert "o first" in chart
+        assert "x second" in chart
+
+    def test_axis_annotations(self):
+        chart = ascii_chart(
+            {"s": [(10, 100), (50, 500)]},
+            width=30, height=6, title="T", x_label="clients",
+        )
+        assert "T" in chart
+        assert "500" in chart  # y max
+        assert "10" in chart and "50" in chart  # x range
+        assert "clients" in chart
+
+    def test_y_axis_anchored_at_zero(self):
+        chart = ascii_chart({"s": [(0, 90), (1, 100)]}, width=20, height=10)
+        # With a zero-anchored axis, 90 and 100 land near the top, not
+        # at opposite extremes.
+        lines = [l for l in chart.splitlines() if "|" in l]
+        plotted = [i for i, l in enumerate(lines) if "o" in l.split("|", 1)[-1]]
+        assert plotted
+        assert max(plotted) - min(plotted) <= 2
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_chart({"s": [(1, 7), (2, 7), (3, 7)]}, width=20, height=5)
+        assert "o" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [(5, 5)]}, width=10, height=4)
+        assert "o" in chart

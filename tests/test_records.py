@@ -1,0 +1,167 @@
+"""Tests for Tango record serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tango.records import (
+    NO_TX,
+    NO_VERSION,
+    CheckpointRecord,
+    CommitRecord,
+    DecisionRecord,
+    ReadSetEntry,
+    UpdateRecord,
+    decode_records,
+    encode_records,
+)
+
+
+class TestUpdateRecord:
+    def test_round_trip(self):
+        record = UpdateRecord(7, b"payload", key=b"k1", tx_id=42)
+        decoded = decode_records(encode_records([record]))
+        assert decoded == [record]
+
+    def test_no_key(self):
+        record = UpdateRecord(7, b"payload")
+        decoded = decode_records(encode_records([record]))[0]
+        assert decoded.key is None
+        assert decoded.tx_id == NO_TX
+
+    def test_speculative_flag(self):
+        assert UpdateRecord(1, b"x", tx_id=5).is_speculative
+        assert not UpdateRecord(1, b"x").is_speculative
+
+    def test_empty_key_is_distinct_from_no_key(self):
+        record = UpdateRecord(1, b"x", key=b"")
+        decoded = decode_records(encode_records([record]))[0]
+        assert decoded.key == b""
+
+
+class TestCommitRecord:
+    def _sample(self, **kwargs):
+        return CommitRecord(
+            tx_id=99,
+            read_set=(
+                ReadSetEntry(1, b"k", 10),
+                ReadSetEntry(2, None, NO_VERSION),
+            ),
+            write_oids=(2, 3),
+            inline_updates=(UpdateRecord(2, b"up", tx_id=99),),
+            **kwargs,
+        )
+
+    def test_round_trip(self):
+        record = self._sample()
+        decoded = decode_records(encode_records([record]))[0]
+        assert decoded == record
+
+    def test_flags(self):
+        record = self._sample(decision_expected=True, forced_abort=True)
+        decoded = decode_records(encode_records([record]))[0]
+        assert decoded.decision_expected
+        assert decoded.forced_abort
+
+    def test_no_version_sentinel(self):
+        record = self._sample()
+        decoded = decode_records(encode_records([record]))[0]
+        assert decoded.read_set[1].version == NO_VERSION
+
+    def test_read_oids_deduplicated(self):
+        record = CommitRecord(
+            1,
+            (ReadSetEntry(5, b"a", 1), ReadSetEntry(5, b"b", 2), ReadSetEntry(6, None, 3)),
+            (),
+        )
+        assert record.read_oids() == (5, 6)
+
+
+class TestDecisionRecord:
+    def test_round_trip(self):
+        for committed in (True, False):
+            record = DecisionRecord(7, committed)
+            assert decode_records(encode_records([record])) == [record]
+
+
+class TestCheckpointRecord:
+    def test_round_trip(self):
+        record = CheckpointRecord(
+            oid=4,
+            covers_offset=100,
+            object_version=99,
+            key_versions=((b"a", 5), (b"b", 7)),
+            state=b"serialized-view",
+            unkeyed_version=42,
+        )
+        decoded = decode_records(encode_records([record]))[0]
+        assert decoded == record
+
+    def test_no_version_fields(self):
+        record = CheckpointRecord(1, NO_VERSION, NO_VERSION, (), b"")
+        decoded = decode_records(encode_records([record]))[0]
+        assert decoded.covers_offset == NO_VERSION
+        assert decoded.unkeyed_version == NO_VERSION
+
+
+class TestBatches:
+    def test_mixed_batch(self):
+        batch = [
+            UpdateRecord(1, b"u"),
+            CommitRecord(2, (), (1,)),
+            DecisionRecord(2, True),
+            CheckpointRecord(1, 5, 5, (), b"s"),
+        ]
+        assert decode_records(encode_records(batch)) == batch
+
+    def test_empty_payload(self):
+        assert decode_records(b"") == []
+
+    def test_empty_batch(self):
+        assert decode_records(encode_records([])) == []
+
+    def test_unknown_kind_rejected(self):
+        raw = bytearray(encode_records([UpdateRecord(1, b"x")]))
+        raw[2] = 0xEE  # corrupt the record kind
+        with pytest.raises(ValueError):
+            decode_records(bytes(raw))
+
+
+_updates = st.builds(
+    UpdateRecord,
+    oid=st.integers(min_value=0, max_value=2**32 - 1),
+    payload=st.binary(max_size=128),
+    key=st.none() | st.binary(max_size=16),
+    tx_id=st.integers(min_value=0, max_value=2**64 - 1),
+)
+
+_read_entries = st.builds(
+    ReadSetEntry,
+    oid=st.integers(min_value=0, max_value=2**32 - 1),
+    key=st.none() | st.binary(max_size=16),
+    version=st.one_of(
+        st.just(NO_VERSION), st.integers(min_value=0, max_value=2**62)
+    ),
+)
+
+_commits = st.builds(
+    CommitRecord,
+    tx_id=st.integers(min_value=0, max_value=2**64 - 1),
+    read_set=st.lists(_read_entries, max_size=4).map(tuple),
+    write_oids=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1), max_size=4
+    ).map(tuple),
+    inline_updates=st.lists(_updates, max_size=3).map(tuple),
+    decision_expected=st.booleans(),
+    forced_abort=st.booleans(),
+)
+
+
+class TestProperties:
+    @given(st.lists(_updates, max_size=8))
+    def test_update_batches_round_trip(self, batch):
+        assert decode_records(encode_records(batch)) == batch
+
+    @given(st.lists(_commits, max_size=4))
+    def test_commit_batches_round_trip(self, batch):
+        assert decode_records(encode_records(batch)) == batch

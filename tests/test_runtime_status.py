@@ -1,0 +1,118 @@
+"""Tests for runtime introspection and the compaction sweep."""
+
+import pytest
+
+from repro.errors import TrimmedError
+from repro.objects import TangoList, TangoMap
+from repro.tango.runtime import TangoRuntime
+from repro.tools import compact_all
+
+
+class TestStatus:
+    def test_initial_status(self, make_runtime):
+        rt = make_runtime()
+        status = rt.status()
+        assert status["hosted_oids"] == []
+        assert status["watermark"] == -1
+        assert not status["open_transaction"]
+        assert status["stats"]["commits"] == 0
+
+    def test_status_reflects_activity(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        m.put("k", 1)
+        m.get("k")
+        rt.run_transaction(lambda: m.put("k2", 2))
+        m.get("k2")  # play the write-only transaction's update
+        status = rt.status()
+        assert status["hosted_oids"] == [1]
+        assert status["watermark"] >= 0
+        assert status["stats"]["commits"] == 1
+        assert status["stats"]["applied_updates"] >= 2
+
+    def test_status_shows_open_transaction(self, make_runtime):
+        rt = make_runtime()
+        rt.begin_tx()
+        assert rt.status()["open_transaction"]
+        rt.abort_tx()
+        assert not rt.status()["open_transaction"]
+
+    def test_status_shows_parked_transactions(self, make_runtime):
+        """An awaiting decision shows up for the operator to act on."""
+
+        class Marked(TangoMap):
+            needs_decision_record = True
+
+        rt1, rt2 = make_runtime(), make_runtime()
+        private = Marked(rt1, oid=1)
+        shared1 = TangoList(rt1, oid=2)
+        shared2 = TangoList(rt2, oid=2)
+        private.put("g", 1)
+        private.get("g")
+        rt1.begin_tx()
+        _ = private.get("g")
+        shared1.append("x")
+        ctx = rt1._current_tx()
+        rt1._tls.tx = None
+        rt1._append_commit(ctx)  # commit without decision ("crash")
+        shared2.to_list()  # rt2 parks the transaction
+        status = rt2.status()
+        assert status["awaiting_decisions"] == [ctx.tx_id]
+        assert 2 in status["blocked_streams"]
+
+    def test_status_is_a_snapshot(self, make_runtime):
+        rt = make_runtime()
+        status = rt.status()
+        status["stats"]["commits"] = 999  # mutating the copy is safe
+        assert rt.stats["commits"] == 0
+
+
+class TestCompactAll:
+    def test_compacts_hosted_objects(self, make_client):
+        rt, directory = make_client()
+        m = directory.open(TangoMap, "m")
+        lst = directory.open(TangoList, "l")
+        for i in range(10):
+            m.put(f"k{i}", i)
+            lst.append(i)
+        result = compact_all(rt, directory)
+        assert sorted(result["checkpointed"]) == ["l", "m"]
+        assert result["skipped"] == []
+        assert result["trimmed_below"] > 0
+        with pytest.raises(TrimmedError):
+            rt.streams.corfu.read(0)
+
+    def test_fresh_client_after_compaction(self, make_client):
+        rt, directory = make_client()
+        m = directory.open(TangoMap, "m")
+        for i in range(10):
+            m.put(f"k{i}", i)
+        compact_all(rt, directory)
+        _rt2, d2 = make_client()
+        fresh = d2.open(TangoMap, "m")
+        assert fresh.size() == 10
+
+    def test_unhosted_objects_skipped_and_pin_the_log(self, make_client):
+        rt1, d1 = make_client()
+        rt2, d2 = make_client()
+        mine = d1.open(TangoMap, "mine")
+        theirs = d2.open(TangoMap, "theirs")
+        mine.put("a", 1)
+        theirs.put("b", 2)
+        result = compact_all(rt1, d1)
+        assert result["checkpointed"] == ["mine"]
+        assert result["skipped"] == ["theirs"]
+        assert result["trimmed_below"] == 0  # pinned by "theirs"
+        assert theirs.get("b") == 2
+
+    def test_compaction_is_repeatable(self, make_client):
+        rt, directory = make_client()
+        m = directory.open(TangoMap, "m")
+        m.put("a", 1)
+        compact_all(rt, directory)
+        m.put("b", 2)
+        second = compact_all(rt, directory)
+        assert second["trimmed_below"] > 0
+        _rt2, d2 = make_client()
+        fresh = d2.open(TangoMap, "m")
+        assert fresh.get("a") == 1 and fresh.get("b") == 2

@@ -1,0 +1,117 @@
+"""Tests for the job scheduler library app (paper section 4)."""
+
+import pytest
+
+from repro.apps.scheduler import JobScheduler
+
+
+@pytest.fixture
+def sched_pair(make_client):
+    rt1, d1 = make_client()
+    rt2, d2 = make_client()
+    return JobScheduler(rt1, d1), JobScheduler(rt2, d2)
+
+
+class TestScheduling:
+    def test_allocates_free_nodes(self, sched_pair):
+        a, _b = sched_pair
+        a.add_node("n1")
+        a.add_node("n2")
+        j0 = a.schedule("train")
+        j1 = a.schedule("serve")
+        assert j0 == (0, "n1")
+        assert j1 == (1, "n2")
+        assert a.schedule("starved") is None
+        assert a.free_count() == 0
+
+    def test_replicas_never_double_assign(self, sched_pair):
+        a, b = sched_pair
+        for node in ("n1", "n2", "n3", "n4"):
+            a.add_node(node)
+        results = [a.schedule("x"), b.schedule("y"), a.schedule("z"), b.schedule("w")]
+        job_ids = [r[0] for r in results]
+        nodes = [r[1] for r in results]
+        assert job_ids == [0, 1, 2, 3]
+        assert sorted(nodes) == ["n1", "n2", "n3", "n4"]
+        assert a.running_jobs() == b.running_jobs()
+
+    def test_complete_frees_the_node(self, sched_pair):
+        a, b = sched_pair
+        a.add_node("n1")
+        job_id, node = a.schedule("work")
+        freed = b.complete(job_id)  # the *other* replica completes it
+        assert freed == node
+        assert a.job(job_id) is None
+        assert a.free_count() == 1
+
+    def test_complete_unknown_job(self, sched_pair):
+        a, _b = sched_pair
+        with pytest.raises(KeyError):
+            a.complete(999)
+
+    def test_job_ids_monotone_across_recycling(self, sched_pair):
+        a, _b = sched_pair
+        a.add_node("n1")
+        j0, _ = a.schedule("first")
+        a.complete(j0)
+        j1, _ = a.schedule("second")
+        assert j1 == j0 + 1  # ids never reused
+
+
+class TestReschedule:
+    def test_moves_job_to_fresh_node(self, sched_pair):
+        a, b = sched_pair
+        a.add_node("bad-node")
+        a.add_node("good-node")
+        job_id, first = a.schedule("job")
+        assert first == "bad-node"
+        result = b.reschedule(job_id)
+        assert result == (job_id, "good-node")
+        assert b.node_of(job_id) == "good-node"
+        # The bad node went back to the pool.
+        assert "bad-node" in b.free_nodes.to_list()
+
+    def test_reschedule_without_spare_nodes(self, sched_pair):
+        a, _b = sched_pair
+        a.add_node("only")
+        job_id, _ = a.schedule("job")
+        assert a.reschedule(job_id) is None
+        assert a.node_of(job_id) == "only"
+
+
+class TestNodePool:
+    def test_remove_free_node(self, sched_pair):
+        a, b = sched_pair
+        a.add_node("n1")
+        assert b.remove_node("n1") is True
+        assert a.schedule("x") is None
+
+    def test_remove_allocated_node_fails(self, sched_pair):
+        a, _b = sched_pair
+        a.add_node("n1")
+        a.schedule("x")
+        assert a.remove_node("n1") is False
+
+
+class TestRecovery:
+    def test_fresh_replica_resumes_state(self, make_client, sched_pair):
+        a, _b = sched_pair
+        a.add_node("n1")
+        a.add_node("n2")
+        a.schedule("persisted")
+        rt3, d3 = make_client()
+        recovered = JobScheduler(rt3, d3)
+        assert recovered.running_jobs() == a.running_jobs()
+        assert recovered.free_count() == 1
+        # And it can keep scheduling with the right next id.
+        assert recovered.schedule("more")[0] == 1
+
+    def test_independent_namespaces(self, make_client):
+        rt, directory = make_client()
+        prod = JobScheduler(rt, directory, namespace="prod")
+        staging = JobScheduler(rt, directory, namespace="staging")
+        prod.add_node("p1")
+        staging.add_node("s1")
+        assert prod.schedule("x") == (0, "p1")
+        assert staging.schedule("y") == (0, "s1")
+        assert prod.free_count() == 0 == staging.free_count()

@@ -1,0 +1,116 @@
+"""Tests for the sequencer (tail counter + stream backpointer state)."""
+
+import pytest
+
+from repro.corfu.entry import NO_BACKPOINTER
+from repro.corfu.sequencer import Sequencer
+from repro.errors import NodeDownError, SealedError
+
+
+@pytest.fixture
+def seq():
+    return Sequencer("seq-0", k=4)
+
+
+class TestCounter:
+    def test_monotone_offsets(self, seq):
+        offsets = [seq.increment()[0] for _ in range(10)]
+        assert offsets == list(range(10))
+
+    def test_multi_count_reservation(self, seq):
+        first, _ = seq.increment(count=3)
+        assert first == 0
+        nxt, _ = seq.increment()
+        assert nxt == 3
+
+    def test_invalid_count(self, seq):
+        with pytest.raises(ValueError):
+            seq.increment(count=0)
+
+    def test_query_does_not_advance(self, seq):
+        seq.increment()
+        tail1, _ = seq.query()
+        tail2, _ = seq.query()
+        assert tail1 == tail2 == 1
+
+
+class TestStreamBackpointers:
+    def test_first_append_gets_no_backpointers(self, seq):
+        _, bps = seq.increment(stream_ids=(7,))
+        assert bps[7] == (NO_BACKPOINTER,) * 4
+
+    def test_last_k_newest_first(self, seq):
+        for _ in range(6):
+            seq.increment(stream_ids=(7,))
+        _, bps = seq.increment(stream_ids=(7,))
+        assert bps[7] == (5, 4, 3, 2)
+
+    def test_streams_are_independent(self, seq):
+        seq.increment(stream_ids=(1,))  # offset 0
+        seq.increment(stream_ids=(2,))  # offset 1
+        _, bps = seq.increment(stream_ids=(1, 2))  # offset 2
+        assert bps[1][0] == 0
+        assert bps[2][0] == 1
+
+    def test_multiappend_records_offset_for_all_streams(self, seq):
+        seq.increment(stream_ids=(1, 2))  # offset 0 in both
+        _, bps = seq.increment(stream_ids=(1, 2))
+        assert bps[1][0] == 0
+        assert bps[2][0] == 0
+
+    def test_query_returns_stream_state(self, seq):
+        seq.increment(stream_ids=(3,))
+        seq.increment(stream_ids=(3,))
+        tail, streams = seq.query(stream_ids=(3, 4))
+        assert tail == 2
+        assert streams[3] == (1, 0)
+        assert streams[4] == ()
+
+    def test_multi_count_assigns_all_offsets(self, seq):
+        seq.increment(stream_ids=(5,), count=3)
+        _, streams = seq.query(stream_ids=(5,))
+        assert streams[5] == (2, 1, 0)
+
+    def test_state_footprint(self, seq):
+        """32 bytes per stream with K=4 (paper section 5)."""
+        for sid in range(100):
+            seq.increment(stream_ids=(sid,))
+        assert seq.stream_state_bytes() == 100 * 32
+
+
+class TestSealAndCrash:
+    def test_seal_fences_stale_epoch(self, seq):
+        seq.seal(2)
+        with pytest.raises(SealedError):
+            seq.increment(epoch=1)
+        seq.increment(epoch=2)
+
+    def test_seal_not_backwards(self, seq):
+        seq.seal(2)
+        with pytest.raises(SealedError):
+            seq.seal(2)
+
+    def test_crash_loses_soft_state(self, seq):
+        seq.increment(stream_ids=(1,))
+        seq.crash()
+        assert seq.is_down
+        with pytest.raises(NodeDownError):
+            seq.increment()
+        with pytest.raises(NodeDownError):
+            seq.query()
+
+    def test_bootstrap_restores_state(self, seq):
+        seq.increment(stream_ids=(1,))
+        seq.increment(stream_ids=(1,))
+        seq.crash()
+        seq.bootstrap(tail=2, stream_tails={1: [1, 0]}, epoch=1)
+        assert not seq.is_down
+        offset, bps = seq.increment(stream_ids=(1,), epoch=1)
+        assert offset == 2
+        assert bps[1] == (1, 0)
+
+    def test_bootstrap_truncates_to_k(self):
+        seq = Sequencer("s", k=2)
+        seq.bootstrap(tail=10, stream_tails={1: [9, 8, 7, 6]}, epoch=0)
+        _, streams = seq.query(stream_ids=(1,))
+        assert streams[1] == (9, 8)

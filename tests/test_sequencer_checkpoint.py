@@ -1,0 +1,107 @@
+"""Tests for sequencer state checkpoints (the section 5 future-work
+optimization: "having the sequencer store periodic checkpoints in the
+log" to bound the backward scan at failover)."""
+
+import pytest
+
+from repro.corfu import CorfuCluster, reconfig
+
+
+class TestCheckpointing:
+    def test_checkpoint_append_advances_tail(self, cluster):
+        client = cluster.client()
+        client.append(b"x", stream_ids=(1,))
+        offset = reconfig.checkpoint_sequencer_state(cluster)
+        assert offset == 1
+        assert client.check() == 2
+
+    def test_failover_recovers_exact_state_via_checkpoint(self, cluster):
+        client = cluster.client()
+        for i in range(20):
+            client.append(b"e%d" % i, stream_ids=(i % 3,))
+        reconfig.checkpoint_sequencer_state(cluster)
+        for i in range(5):
+            client.append(b"late-%d" % i, stream_ids=(i % 3,))
+        expected = {}
+        seq = cluster.sequencer()
+        for sid in range(3):
+            expected[sid] = tuple(seq.query(stream_ids=(sid,))[1][sid])
+        cluster.crash_sequencer()
+        new = reconfig.replace_sequencer(cluster)
+        recovered = cluster.sequencer(new.sequencer)
+        for sid in range(3):
+            got = recovered.query(stream_ids=(sid,), epoch=new.epoch)[1][sid]
+            assert tuple(got) == expected[sid]
+
+    def test_checkpoint_bounds_the_backward_scan(self, cluster):
+        """Recovery reads only the suffix above the newest checkpoint."""
+        client = cluster.client()
+        for i in range(40):
+            client.append(b"e%d" % i, stream_ids=(1,))
+        reconfig.checkpoint_sequencer_state(cluster)  # offset 40
+        client.append(b"after", stream_ids=(1,))  # offset 41
+        cluster.crash_sequencer()
+        before = cluster.total_storage_reads()
+        reconfig.replace_sequencer(cluster)
+        scan_reads = cluster.total_storage_reads() - before
+        # Tail=42; the scan must touch ~2 entries, not ~42.
+        assert scan_reads <= 6
+
+    def test_recovery_without_checkpoint_still_works(self, cluster):
+        client = cluster.client()
+        for i in range(10):
+            client.append(b"e%d" % i, stream_ids=(1,))
+        cluster.crash_sequencer()
+        new = reconfig.replace_sequencer(cluster)
+        _, streams = cluster.sequencer(new.sequencer).query(
+            stream_ids=(1,), epoch=new.epoch
+        )
+        assert tuple(streams[1]) == (9, 8, 7, 6)
+
+    def test_stream_state_straddling_checkpoint(self, cluster):
+        """Last-K offsets split across the checkpoint merge correctly."""
+        client = cluster.client()
+        client.append(b"old-1", stream_ids=(7,))  # offset 0
+        client.append(b"old-2", stream_ids=(7,))  # offset 1
+        reconfig.checkpoint_sequencer_state(cluster)  # offset 2
+        client.append(b"new-1", stream_ids=(7,))  # offset 3
+        cluster.crash_sequencer()
+        new = reconfig.replace_sequencer(cluster)
+        _, streams = cluster.sequencer(new.sequencer).query(
+            stream_ids=(7,), epoch=new.epoch
+        )
+        assert tuple(streams[7]) == (3, 1, 0)
+
+    def test_multiple_checkpoints_newest_wins(self, cluster):
+        client = cluster.client()
+        client.append(b"a", stream_ids=(1,))
+        reconfig.checkpoint_sequencer_state(cluster)
+        client.append(b"b", stream_ids=(2,))
+        reconfig.checkpoint_sequencer_state(cluster)
+        cluster.crash_sequencer()
+        new = reconfig.replace_sequencer(cluster)
+        _, streams = cluster.sequencer(new.sequencer).query(
+            stream_ids=(1, 2), epoch=new.epoch
+        )
+        assert tuple(streams[1]) == (0,)
+        assert tuple(streams[2]) == (2,)
+
+    def test_checkpoint_stream_invisible_to_tango(self, cluster):
+        """The reserved stream never collides with application streams."""
+        from repro.corfu.reconfig import SEQUENCER_CHECKPOINT_STREAM
+        from repro.streams import StreamClient
+
+        client = cluster.client()
+        client.append(b"app", stream_ids=(1,))
+        reconfig.checkpoint_sequencer_state(cluster)
+        sclient = StreamClient(cluster.client())
+        sclient.open_stream(1)
+        sclient.sync(1)
+        offsets = []
+        while True:
+            item = sclient.readnext(1)
+            if item is None:
+                break
+            offsets.append(item[0])
+        assert offsets == [0]
+        assert SEQUENCER_CHECKPOINT_STREAM != 1

@@ -1,0 +1,223 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Counter, Server, Simulator
+from repro.sim.network import Link, Nic, rpc_delay
+
+
+class TestSimulator:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_single_process_advances_time(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            yield 1.0
+            trace.append(sim.now)
+            yield 2.0
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [1.0, 3.0]
+
+    def test_processes_interleave_in_time_order(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(name, delay):
+            yield delay
+            trace.append(name)
+
+        sim.spawn(proc("slow", 2.0))
+        sim.spawn(proc("fast", 1.0))
+        sim.run()
+        assert trace == ["fast", "slow"]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            while True:
+                yield 1.0
+                trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run(until=3.5)
+        assert trace == [1.0, 2.0, 3.0]
+        assert sim.now == 3.5
+
+    def test_spawn_with_delay(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield 0.0
+
+        sim.spawn(proc(), delay=5.0)
+        sim.run()
+        assert trace == [5.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield -1.0
+            yield 0.0
+
+        sim.spawn(bad())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_fifo_tiebreak_at_same_instant(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(name):
+            yield 1.0
+            trace.append(name)
+
+        for name in ("a", "b", "c"):
+            sim.spawn(proc(name))
+        sim.run()
+        assert trace == ["a", "b", "c"]
+
+
+class TestServer:
+    def test_idle_server_serves_immediately(self):
+        sim = Simulator()
+        server = Server(sim)
+        assert server.acquire(2.0) == 2.0
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        server = Server(sim)
+        assert server.acquire(1.0) == 1.0
+        assert server.acquire(1.0) == 2.0  # waits behind the first
+        assert server.acquire(1.0) == 3.0
+
+    def test_capacity_parallelism(self):
+        sim = Simulator()
+        server = Server(sim, capacity=2)
+        assert server.acquire(1.0) == 1.0
+        assert server.acquire(1.0) == 1.0  # second slot
+        assert server.acquire(1.0) == 2.0  # now queues
+
+    def test_idle_time_not_accumulated(self):
+        sim = Simulator()
+        server = Server(sim)
+        server.acquire(1.0)
+
+        def later():
+            yield 10.0
+            assert server.acquire(1.0) == 1.0  # server idled in between
+
+        sim.spawn(later())
+        sim.run()
+
+    def test_utilization(self):
+        sim = Simulator()
+        server = Server(sim)
+        server.acquire(3.0)
+        assert server.utilization(10.0) == pytest.approx(0.3)
+        assert server.utilization(0.0) == 0.0
+
+    def test_negative_service_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Server(sim).acquire(-1.0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Server(Simulator(), capacity=0)
+
+    def test_throughput_equals_service_rate_under_saturation(self):
+        """An M/D/1-ish server saturates at exactly 1/service."""
+        sim = Simulator()
+        server = Server(sim)
+        done = Counter()
+
+        def client():
+            while True:
+                yield server.acquire(1e-3)
+                done.record(0.0)
+
+        for _ in range(4):
+            sim.spawn(client())
+        sim.run(until=1.0)
+        assert done.completed == pytest.approx(1000, rel=0.02)
+
+
+class TestNetwork:
+    def test_link_wire_time_scales_with_bytes(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=1e9, latency=0.0)
+        small = link.transfer(100)
+        sim2 = Simulator()
+        link2 = Link(sim2, bandwidth_bps=1e9, latency=0.0)
+        big = link2.transfer(10000)
+        assert big > small * 50
+
+    def test_latency_added_after_serialization(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=1e9, latency=1e-3)
+        assert link.transfer(0) == pytest.approx(1e-3)
+
+    def test_nic_directions_independent(self):
+        sim = Simulator()
+        nic = Nic(sim, bandwidth_bps=1e6, latency=0.0)
+        tx = nic.send(10000)
+        rx = nic.recv(10000)
+        # Full duplex: rx did not queue behind tx.
+        assert rx == pytest.approx(tx)
+
+    def test_rpc_delay_composition(self):
+        sim = Simulator()
+        a = Nic(sim, bandwidth_bps=1e9, latency=1e-4)
+        b = Nic(sim, bandwidth_bps=1e9, latency=1e-4)
+        delay = rpc_delay(a, b, 100, 100, service=1e-3)
+        assert delay > 1e-3 + 4e-4  # service + four hops of latency
+
+
+class TestCounter:
+    def test_throughput_and_latency(self):
+        counter = Counter()
+        counter.record(0.5)
+        counter.record(1.5)
+        assert counter.completed == 2
+        assert counter.mean_latency() == 1.0
+        assert counter.throughput(4.0) == 0.5
+
+    def test_empty(self):
+        counter = Counter()
+        assert counter.mean_latency() == 0.0
+        assert counter.throughput(1.0) == 0.0
+        assert counter.percentile_latency(99) == 0.0
+
+    def test_percentiles_small_sample(self):
+        counter = Counter()
+        for latency in (1.0, 2.0, 3.0, 4.0):
+            counter.record(latency)
+        assert counter.percentile_latency(0) == 1.0
+        assert counter.percentile_latency(50) == 3.0
+        assert counter.percentile_latency(100) == 4.0
+
+    def test_reservoir_bounds_memory(self):
+        counter = Counter()
+        for i in range(20_000):
+            counter.record(float(i))
+        assert len(counter._samples) == Counter._RESERVOIR
+        # The reservoir still reflects the distribution's spread.
+        assert counter.percentile_latency(99) > counter.percentile_latency(10)
+
+    def test_deterministic_across_runs(self):
+        a, b = Counter(), Counter()
+        for i in range(10_000):
+            a.record(float(i % 97))
+            b.record(float(i % 97))
+        assert a.percentile_latency(95) == b.percentile_latency(95)

@@ -1,0 +1,138 @@
+"""Soak test: every feature together, at modest scale, end to end.
+
+One long scenario exercising the cross-feature interactions no focused
+test covers: multiple clients with partially overlapping hosting sets, a
+dynamic hosting registry, batched updates, cross-object and
+cross-partition transactions, mid-run infrastructure failures, a
+compaction sweep, and finally fsck + full-state convergence checks.
+"""
+
+import pytest
+
+from repro.corfu import CorfuCluster
+from repro.objects import TangoList, TangoMap, TangoQueue
+from repro.tango.directory import TangoDirectory
+from repro.tango.hosting import HostingRegistry
+from repro.tango.runtime import TangoRuntime
+from repro.tools import check_log, compact_all
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_full_system_soak(seed):
+    import random
+
+    rng = random.Random(seed)
+    cluster = CorfuCluster(num_sets=3, replication_factor=2)
+
+    # --- topology: 3 clients with overlapping hosting sets ------------------
+    runtimes = [
+        TangoRuntime(cluster, client_id=i + 1, name=f"soak-{i}")
+        for i in range(3)
+    ]
+    directories = [TangoDirectory(rt) for rt in runtimes]
+
+    registry = directories[0].open(HostingRegistry, "hosting")
+    registries = [registry] + [
+        d.open(HostingRegistry, "hosting") for d in directories[1:]
+    ]
+
+    # Everyone hosts the work queue; each client hosts its own ledger
+    # map; clients 0 and 1 share an inventory.
+    queues = [d.open(TangoQueue, "work-queue") for d in directories]
+    ledgers = [
+        directories[i].open(TangoMap, f"ledger-{i}") for i in range(3)
+    ]
+    inventory0 = directories[0].open(TangoMap, "inventory")
+    inventory1 = directories[1].open(TangoMap, "inventory")
+
+    for i, (rt, d) in enumerate(zip(runtimes, directories)):
+        hosted = [registry.oid, queues[i].oid, ledgers[i].oid]
+        if i in (0, 1):
+            hosted.append(inventory0.oid)
+        registries[i].announce(rt.name, hosted)
+        rt.use_hosting_registry(registries[i])
+
+    inventory0.put("widgets", 100)
+    inventory0.get("widgets")
+    inventory1.get("widgets")
+
+    # --- phase 1: batched production into the queue -------------------------
+    with runtimes[0].batch(size=4):
+        for i in range(20):
+            queues[0].enqueue({"job": i})
+    assert queues[1].size() == 20
+
+    # --- phase 2: mixed transactional consumption ---------------------------
+    consumed = []
+    for round_no in range(20):
+        consumer = rng.randrange(3)
+        rt, queue, ledger = runtimes[consumer], queues[consumer], ledgers[consumer]
+        item = queue.dequeue()
+        if item is not None:
+            ledger.put(f"done-{item['job']}", consumer)
+            consumed.append(item["job"])
+
+        # Occasionally, a cross-object transaction touching the shared
+        # inventory (clients 0/1) with decision records driven by the
+        # registry.
+        if consumer in (0, 1) and round_no % 4 == 0:
+            inv = inventory0 if consumer == 0 else inventory1
+
+            def spend(inv=inv, ledger=ledger, round_no=round_no):
+                stock = inv.get("widgets")
+                if stock > 0:
+                    inv.put("widgets", stock - 1)
+                    ledger.put(f"spent-{round_no}", stock)
+
+            rt.run_transaction(spend)
+
+    # --- phase 3: infrastructure failures mid-run ----------------------------
+    victim = cluster.projection.replica_sets[1].head
+    cluster.crash_storage(victim)
+    queues[2].enqueue({"job": "after-storage-crash"})
+    cluster.crash_sequencer(cluster.projection.sequencer)
+    queues[0].enqueue({"job": "after-sequencer-crash"})
+
+    # --- phase 4: drain and verify -------------------------------------------
+    drained = []
+    while True:
+        item = queues[1].dequeue()
+        if item is None:
+            break
+        drained.append(item["job"])
+    assert sorted(consumed + drained, key=str) == sorted(
+        list(range(20)) + ["after-storage-crash", "after-sequencer-crash"],
+        key=str,
+    )
+
+    # Inventory math is exact despite races.
+    spends = sum(
+        1
+        for ledger in ledgers
+        for key in ledger.keys()
+        if key.startswith("spent-")
+    )
+    assert inventory0.get("widgets") == 100 - spends
+    assert inventory1.get("widgets") == 100 - spends
+
+    # --- phase 5: compaction + fsck -----------------------------------------
+    # Only client 0's hosted objects compact; others pin the log (fine).
+    result = compact_all(runtimes[0], directories[0])
+    assert "work-queue" in result["checkpointed"]
+    report = check_log(cluster)
+    assert report.healthy, (
+        report.orphaned_txes,
+        report.undecided_txes,
+        report.bad_backpointers,
+    )
+
+    # --- phase 6: a cold observer reconstructs everything --------------------
+    rt_new = TangoRuntime(cluster, client_id=99, name="late")
+    d_new = TangoDirectory(rt_new)
+    fresh_inventory = d_new.open(TangoMap, "inventory")
+    assert fresh_inventory.get("widgets") == 100 - spends
+    fresh_queue = d_new.open(TangoQueue, "work-queue")
+    assert fresh_queue.size() == 0
+    for i in range(3):
+        fresh_ledger = d_new.open(TangoMap, f"ledger-{i}")
+        assert dict(fresh_ledger.items()) == dict(ledgers[i].items())

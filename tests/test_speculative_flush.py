@@ -1,0 +1,129 @@
+"""Tests for the speculative-write path of large transactions.
+
+Section 3.2: "The update_helper call now buffers updates instead of
+writing them immediately to the shared log; when a log entry's worth of
+updates have been accumulated, it flushes them to the log as speculative
+writes, not to be made visible by other clients playing the log until
+the commit record is encountered."
+
+Small transactions inline their updates in the commit record; these
+tests force the overflow path with multi-kilobyte values.
+"""
+
+import pytest
+
+from repro.objects import TangoMap
+from repro.tango.records import CommitRecord, UpdateRecord, decode_records
+
+
+BIG = "x" * 1500  # three of these exceed one 4KB entry
+
+
+@pytest.fixture
+def pair(make_runtime):
+    rt1, rt2 = make_runtime(), make_runtime()
+    return rt1, TangoMap(rt1, oid=1), rt2, TangoMap(rt2, oid=1)
+
+
+class TestSpeculativeFlush:
+    def test_large_tx_uses_multiple_entries(self, pair):
+        rt1, m1, _rt2, m2 = pair
+        before = rt1.streams.corfu.appends
+        rt1.begin_tx()
+        for i in range(3):
+            m1.put(f"k{i}", BIG)
+        assert rt1.end_tx() is True
+        # 3 speculative entries + 1 commit record.
+        assert rt1.streams.corfu.appends == before + 4
+
+    def test_speculative_records_marked(self, pair):
+        rt1, m1, _rt2, _m2 = pair
+        rt1.begin_tx()
+        for i in range(3):
+            m1.put(f"k{i}", BIG)
+        rt1.end_tx()
+        client = rt1.streams.corfu
+        kinds = []
+        for offset in range(client.check()):
+            for record in decode_records(client.read(offset).payload):
+                kinds.append(record)
+        spec = [r for r in kinds if isinstance(r, UpdateRecord)]
+        commits = [r for r in kinds if isinstance(r, CommitRecord)]
+        assert len(spec) == 3 and all(r.is_speculative for r in spec)
+        assert len(commits) == 1 and commits[0].inline_updates == ()
+        assert all(r.tx_id == commits[0].tx_id for r in spec)
+
+    def test_commit_makes_all_writes_visible_atomically(self, pair):
+        rt1, m1, _rt2, m2 = pair
+        rt1.begin_tx()
+        for i in range(3):
+            m1.put(f"k{i}", BIG)
+        rt1.end_tx()
+        assert m2.size() == 3
+        assert m2.get("k2") == BIG
+
+    def test_speculative_writes_invisible_before_commit(self, pair):
+        rt1, m1, _rt2, m2 = pair
+        rt1.begin_tx()
+        for i in range(3):
+            m1.put(f"k{i}", BIG)
+        # The speculative entries are not yet flushed (EndTX flushes),
+        # but even after manual flushing consumers must hold them back.
+        ctx = rt1._current_tx()
+        rt1._tls.tx = None
+        from repro.tango.records import encode_records
+
+        for update in ctx.updates:
+            rt1.streams.append(encode_records([update]), (update.oid,))
+        assert m2.size() == 0  # buffered at the consumer, not applied
+
+    def test_aborted_large_tx_discards_speculative_writes(self, pair):
+        rt1, m1, rt2, m2 = pair
+        m1.put("guard", "v0")
+        m1.get("guard")
+        rt1.begin_tx()
+        _ = m1.get("guard")
+        for i in range(3):
+            m1.put(f"k{i}", BIG)
+        m2.put("guard", "moved")  # invalidates rt1's read
+        assert rt1.end_tx() is False
+        assert m2.size() == 1  # only "guard"
+        assert m1.get("k0") is None
+
+    def test_mixed_small_and_large_values(self, pair):
+        rt1, m1, _rt2, m2 = pair
+        rt1.begin_tx()
+        m1.put("small", 1)
+        m1.put("large", BIG)
+        m1.put("large2", BIG)
+        m1.put("large3", BIG)
+        rt1.end_tx()
+        assert m2.get("small") == 1
+        assert m2.get("large3") == BIG
+
+    def test_versions_bump_at_commit_offset(self, pair):
+        """All of a large TX's writes share the commit-point version."""
+        rt1, m1, _rt2, m2 = pair
+        rt1.begin_tx()
+        for i in range(3):
+            m1.put(f"k{i}", BIG)
+        rt1.end_tx()
+        m1.get("k0")
+        commit_offset = rt1.streams.corfu.check() - 1
+        for i in range(3):
+            assert rt1.version_of(1, f"k{i}".encode()) == commit_offset
+
+    def test_indexed_view_points_at_speculative_entries(self, make_runtime):
+        """Data offsets differ from the visibility point: indexed views
+        must dereference the speculative entry where the bytes live."""
+        from repro.objects import TangoIndexedMap
+
+        rt = make_runtime()
+        m = TangoIndexedMap(rt, oid=1)
+        rt.begin_tx()
+        for i in range(3):
+            m.put(f"k{i}", BIG)
+        rt.end_tx()
+        commit_offset = rt.streams.corfu.check() - 1
+        assert m.get("k1") == BIG
+        assert m.offset_of("k1") < commit_offset  # points at the data

@@ -1,0 +1,258 @@
+"""Tests for the streaming layer: sync, readnext, multiappend, holes."""
+
+import pytest
+
+from repro.corfu import CorfuCluster
+from repro.corfu.entry import NO_BACKPOINTER
+from repro.errors import UnknownStreamError, UnwrittenError
+from repro.streams import StreamClient
+
+
+@pytest.fixture
+def sclient(cluster):
+    return StreamClient(cluster.client())
+
+
+class TestBasics:
+    def test_unknown_stream_rejected(self, sclient):
+        with pytest.raises(UnknownStreamError):
+            sclient.readnext(99)
+
+    def test_empty_stream_sync(self, sclient):
+        sclient.open_stream(1)
+        assert sclient.sync(1) == NO_BACKPOINTER
+        assert sclient.readnext(1) is None
+
+    def test_append_sync_readnext(self, sclient):
+        sclient.open_stream(1)
+        sclient.append(b"first", (1,))
+        sclient.append(b"second", (1,))
+        assert sclient.sync(1) == 1
+        offset, entry = sclient.readnext(1)
+        assert (offset, entry.payload) == (0, b"first")
+        offset, entry = sclient.readnext(1)
+        assert (offset, entry.payload) == (1, b"second")
+        assert sclient.readnext(1) is None
+
+    def test_streams_skip_other_streams(self, sclient):
+        """readnext skips entries belonging to other streams."""
+        sclient.open_stream(1)
+        sclient.append(b"a", (1,))
+        sclient.append(b"noise", (2,))
+        sclient.append(b"b", (1,))
+        sclient.sync(1)
+        assert sclient.readnext(1)[0] == 0
+        assert sclient.readnext(1)[0] == 2
+        assert sclient.readnext(1) is None
+
+    def test_open_is_idempotent(self, sclient):
+        sclient.open_stream(1)
+        sclient.append(b"a", (1,))
+        sclient.sync(1)
+        sclient.readnext(1)
+        sclient.open_stream(1)  # must not reset the iterator
+        assert sclient.readnext(1) is None
+
+    def test_position_and_pending(self, sclient):
+        sclient.open_stream(1)
+        assert sclient.position(1) == NO_BACKPOINTER
+        for i in range(3):
+            sclient.append(b"e%d" % i, (1,))
+        sclient.sync(1)
+        assert sclient.pending(1) == 3
+        sclient.readnext(1)
+        assert sclient.position(1) == 0
+        assert sclient.pending(1) == 2
+
+    def test_reset_replays_history(self, sclient):
+        sclient.open_stream(1)
+        for i in range(3):
+            sclient.append(b"e%d" % i, (1,))
+        sclient.sync(1)
+        while sclient.readnext(1):
+            pass
+        sclient.reset(1)
+        assert sclient.readnext(1)[1].payload == b"e0"
+
+    def test_readnext_upto(self, sclient):
+        """Bounded playback instantiates historical views."""
+        sclient.open_stream(1)
+        for i in range(4):
+            sclient.append(b"e%d" % i, (1,))
+        sclient.sync(1)
+        assert sclient.readnext(1, upto=1)[0] == 0
+        assert sclient.readnext(1, upto=1)[0] == 1
+        assert sclient.readnext(1, upto=1) is None  # held back
+        assert sclient.readnext(1)[0] == 2  # unbounded resumes
+
+
+class TestMultiappend:
+    def test_entry_in_both_streams(self, sclient):
+        sclient.open_stream(1)
+        sclient.open_stream(2)
+        offset = sclient.append(b"both", (1, 2))
+        sclient.sync(1)
+        sclient.sync(2)
+        assert sclient.readnext(1)[0] == offset
+        assert sclient.readnext(2)[0] == offset
+
+    def test_entry_fetched_once(self, cluster):
+        """The streaming layer fetches a multiappended entry once and
+        caches it (paper section 4.1)."""
+        sclient = StreamClient(cluster.client())
+        sclient.open_stream(1)
+        sclient.open_stream(2)
+        sclient.append(b"both", (1, 2))
+        sclient.sync(1)
+        sclient.sync(2)
+        before = sclient.corfu.reads
+        sclient.readnext(1)
+        mid = sclient.corfu.reads
+        sclient.readnext(2)
+        assert sclient.corfu.reads == mid  # second delivery from cache
+        assert mid >= before
+
+
+class TestBackpointerWalk:
+    def test_sync_uses_strided_reads(self, cluster):
+        """Building the list takes ~N/K reads, not N (paper section 5)."""
+        sclient = StreamClient(cluster.client())
+        sclient.open_stream(1)
+        n = 40
+        for i in range(n):
+            sclient.append(b"e%d" % i, (1,))
+        before = sclient.corfu.reads
+        sclient.sync(1)
+        walk_reads = sclient.corfu.reads - before
+        assert walk_reads <= n // 4 + 2  # K=4 stride
+
+    def test_incremental_sync_reads_only_new_entries(self, sclient):
+        sclient.open_stream(1)
+        for i in range(10):
+            sclient.append(b"e%d" % i, (1,))
+        sclient.sync(1)
+        sclient.append(b"new", (1,))
+        before = sclient.corfu.reads
+        assert sclient.sync(1) == 10
+        assert sclient.corfu.reads - before <= 2
+        assert sclient.pending(1) == 11
+
+    def test_interleaved_streams_sync_correctly(self, sclient):
+        sclient.open_stream(1)
+        sclient.open_stream(2)
+        expected = {1: [], 2: []}
+        for i in range(30):
+            sid = 1 if i % 3 else 2
+            offset = sclient.append(b"e%d" % i, (sid,))
+            expected[sid].append(offset)
+        results = sclient.sync_many((1, 2))
+        assert results[1] == expected[1][-1]
+        assert results[2] == expected[2][-1]
+        for sid in (1, 2):
+            got = []
+            while True:
+                item = sclient.readnext(sid)
+                if item is None:
+                    break
+                got.append(item[0])
+            assert got == expected[sid]
+
+    def test_sync_after_sequencer_failover(self, cluster):
+        sclient = StreamClient(cluster.client())
+        sclient.open_stream(1)
+        for i in range(10):
+            sclient.append(b"e%d" % i, (1,))
+        cluster.crash_sequencer()
+        assert sclient.sync(1) == 9
+        assert sclient.pending(1) == 10
+
+
+class TestHolesAndJunk:
+    def test_hole_filled_during_sync(self, cluster):
+        """A crashed appender's reserved offset becomes junk; the stream
+        skips it."""
+        sclient = StreamClient(cluster.client())
+        sclient.open_stream(1)
+        sclient.append(b"a", (1,))
+        # Crash simulation: sequencer assigned offset 1 to stream 1 but
+        # nothing was written.
+        cluster.sequencer().increment(stream_ids=(1,))
+        sclient.append(b"b", (1,))  # offset 2
+        assert sclient.sync(1) == 2
+        delivered = []
+        while True:
+            item = sclient.readnext(1)
+            if item is None:
+                break
+            delivered.append(item)
+        payloads = [e.payload for _, e in delivered if not e.is_junk]
+        assert payloads == [b"a", b"b"]
+
+    def test_backward_scan_past_junk(self, cluster):
+        """When backpointers dead-end in junk, the client scans the log
+        backward for a valid entry (paper section 5)."""
+        sclient = StreamClient(cluster.client())
+        writer = StreamClient(cluster.client())
+        writer.append(b"a", (1,))  # offset 0
+        # Force the next K=4 stream-1 reservations to be holes.
+        for _ in range(4):
+            cluster.sequencer().increment(stream_ids=(1,))
+        writer.append(b"b", (1,))  # offset 5
+        sclient.open_stream(1)
+        assert sclient.sync(1) == 5
+        assert sclient.backward_scans > 0
+        offsets = []
+        while True:
+            item = sclient.readnext(1)
+            if item is None:
+                break
+            if not item[1].is_junk:
+                offsets.append(item[0])
+        assert offsets == [0, 5]
+
+    def test_custom_hole_handler_can_defer(self, cluster):
+        """A handler modeling the 100ms timeout may decline to fill."""
+        attempts = []
+
+        def patient_handler(offset):
+            attempts.append(offset)
+            if len(attempts) >= 2:
+                cluster.client().fill(offset)
+
+        sclient = StreamClient(cluster.client(), hole_handler=patient_handler)
+        cluster.sequencer().increment(stream_ids=(1,))
+        sclient.open_stream(1)
+        with pytest.raises(UnwrittenError):
+            sclient.fetch(0)
+        assert sclient.fetch(0).is_junk  # second attempt fills
+        assert attempts == [0, 0]
+
+    def test_trimmed_offsets_read_as_junk(self, cluster):
+        sclient = StreamClient(cluster.client())
+        sclient.open_stream(1)
+        sclient.append(b"old", (1,))
+        sclient.append(b"new", (1,))
+        sclient.corfu.trim(0)
+        assert sclient.fetch(0).is_junk
+
+
+class TestCache:
+    def test_cache_eviction(self, cluster):
+        sclient = StreamClient(cluster.client(), cache_entries=4)
+        offsets = [sclient.append(b"e%d" % i, (1,)) for i in range(8)]
+        for offset in offsets:
+            sclient.fetch(offset)
+        assert len(sclient._cache) == 4
+
+    def test_lru_keeps_hot_entries(self, cluster):
+        sclient = StreamClient(cluster.client(), cache_entries=2)
+        a = sclient.append(b"a", (1,))
+        b = sclient.append(b"b", (1,))
+        c = sclient.append(b"c", (1,))
+        sclient.fetch(a)
+        sclient.fetch(b)
+        sclient.fetch(a)  # a is now most-recent
+        sclient.fetch(c)  # evicts b
+        reads_before = sclient.corfu.reads
+        sclient.fetch(a)
+        assert sclient.corfu.reads == reads_before  # cache hit

@@ -1,0 +1,83 @@
+"""Tests for temporary views (the section 4.1 case-D alternative)."""
+
+import pytest
+
+from repro.errors import RemoteReadError
+from repro.objects import TangoList, TangoMap
+from repro.tango.runtime import TangoRuntime
+
+
+class TestTemporaryView:
+    def test_remote_read_without_view_still_rejected(self, make_runtime):
+        rt = make_runtime()
+        rt.begin_tx()
+        with pytest.raises(RemoteReadError):
+            rt.query_helper(5)
+        rt.abort_tx()
+
+    def test_tx_reads_through_temporary_view(self, make_runtime):
+        rt_owner, rt_reader = make_runtime(), make_runtime()
+        prices = TangoMap(rt_owner, oid=5)
+        prices.put("widget", 80)
+        orders = TangoList(rt_reader, oid=6)
+
+        with rt_reader.temporary_view(TangoMap, 5) as remote_prices:
+            def tx():
+                if remote_prices.get("widget") < 100:
+                    orders.append("widget")
+
+            rt_reader.run_transaction(tx)
+        assert orders.to_list() == ("widget",)
+        assert not rt_reader.is_hosted(5)  # gone after the scope
+
+    def test_conflict_detection_works_inside_scope(self, make_runtime):
+        rt_owner, rt_reader = make_runtime(), make_runtime()
+        prices = TangoMap(rt_owner, oid=5)
+        prices.put("widget", 80)
+        orders = TangoList(rt_reader, oid=6)
+        with rt_reader.temporary_view(TangoMap, 5) as remote_prices:
+            remote_prices.get("widget")  # sync
+            rt_reader.begin_tx()
+            _ = remote_prices.get("widget")
+            orders.append("widget")
+            prices.put("widget", 200)  # owner changes it mid-window
+            assert rt_reader.end_tx() is False
+        assert orders.to_list() == ()
+
+    def test_view_catches_up_full_history(self, make_runtime):
+        rt_owner, rt_reader = make_runtime(), make_runtime()
+        m = TangoMap(rt_owner, oid=5)
+        for i in range(20):
+            m.put(f"k{i}", i)
+        # Reader has played other streams already (late registration).
+        own = TangoMap(rt_reader, oid=7)
+        own.put("x", 1)
+        own.get("x")
+        with rt_reader.temporary_view(TangoMap, 5) as view:
+            assert view.size() == 20
+
+    def test_already_hosted_object_not_deregistered(self, make_runtime):
+        rt = make_runtime()
+        mine = TangoMap(rt, oid=5)
+        mine.put("k", 1)
+        with rt.temporary_view(TangoMap, 5) as view:
+            assert view is mine
+        assert rt.is_hosted(5)  # permanent view untouched
+
+    def test_exception_in_scope_still_deregisters(self, make_runtime):
+        rt_owner, rt_reader = make_runtime(), make_runtime()
+        TangoMap(rt_owner, oid=5)
+        with pytest.raises(RuntimeError):
+            with rt_reader.temporary_view(TangoMap, 5):
+                raise RuntimeError("boom")
+        assert not rt_reader.is_hosted(5)
+
+    def test_reopening_after_scope_replays_again(self, make_runtime):
+        rt_owner, rt_reader = make_runtime(), make_runtime()
+        m = TangoMap(rt_owner, oid=5)
+        m.put("a", 1)
+        with rt_reader.temporary_view(TangoMap, 5) as view:
+            assert view.get("a") == 1
+        m.put("b", 2)
+        with rt_reader.temporary_view(TangoMap, 5) as view:
+            assert view.size() == 2

@@ -1,0 +1,156 @@
+"""Tests for the distributed 2PL baseline (Figure 10 middle)."""
+
+import pytest
+
+from repro.baselines.two_phase_locking import TwoPLSystem
+
+
+@pytest.fixture
+def system():
+    return TwoPLSystem(partitions=("p0", "p1", "p2"))
+
+
+class TestTimestamps:
+    def test_monotone(self, system):
+        ts = [system.oracle.next_timestamp() for _ in range(5)]
+        assert ts == sorted(ts)
+        assert len(set(ts)) == 5
+
+
+class TestLocalTransactions:
+    def test_simple_commit(self, system):
+        client = system.client("c1")
+        outcome = client.execute(reads=[], writes=[("p0", "k", "v")])
+        assert outcome.committed
+        assert system.node("p0").read("k") == ("v", outcome.timestamp)
+
+    def test_read_validation(self, system):
+        client = system.client("c1")
+        client.execute(reads=[], writes=[("p0", "k", "v1")])
+        outcome = client.execute(
+            reads=[("p0", "k")], writes=[("p0", "k2", "v2")]
+        )
+        assert outcome.committed
+
+    def test_stale_read_aborts(self, system):
+        """A write between read and lock invalidates the transaction."""
+        c1, c2 = system.client("c1"), system.client("c2")
+        c1.execute(reads=[], writes=[("p0", "k", "v0")])
+
+        # Interleave manually: c1 reads, c2 writes, c1 tries to commit.
+        _value, version = system.node("p0").read("k")
+        c2.execute(reads=[], writes=[("p0", "k", "hijacked")])
+        ts = system.oracle.next_timestamp()
+        ok, _msgs = c1._attempt(
+            ts, [("p0", "k")], [("p0", "k2", "x")], {("p0", "k"): version}
+        )
+        assert not ok
+        assert system.node("p0").read("k2") == (None, 0)
+
+    def test_read_own_partition_versions(self, system):
+        client = system.client("c1")
+        o1 = client.execute(reads=[], writes=[("p0", "k", "a")])
+        o2 = client.execute(reads=[], writes=[("p0", "k", "b")])
+        assert o2.timestamp > o1.timestamp
+        assert system.node("p0").read("k") == ("b", o2.timestamp)
+
+
+class TestLocking:
+    def test_lock_conflict_detected(self, system):
+        node = system.node("p0")
+        ok1, _ = node.lock("k", tx_ts=1)
+        ok2, _ = node.lock("k", tx_ts=2)
+        assert ok1 and not ok2
+
+    def test_lock_reentrant_for_same_tx(self, system):
+        node = system.node("p0")
+        assert node.lock("k", tx_ts=1)[0]
+        assert node.lock("k", tx_ts=1)[0]
+
+    def test_unlock_only_by_holder(self, system):
+        node = system.node("p0")
+        node.lock("k", tx_ts=1)
+        node.unlock("k", tx_ts=2)  # not the holder: no-op
+        assert not node.lock("k", tx_ts=3)[0]
+        node.unlock("k", tx_ts=1)
+        assert node.lock("k", tx_ts=3)[0]
+
+    def test_commit_write_releases_lock(self, system):
+        node = system.node("p0")
+        node.lock("k", tx_ts=5)
+        node.commit_write("k", "v", tx_ts=5)
+        assert node.lock("k", tx_ts=6)[0]
+
+    def test_failed_attempt_releases_all_locks(self, system):
+        """No lock leaks: a failed transaction unlocks everything."""
+        c1 = system.client("c1")
+        system.node("p0").lock("blocked", tx_ts=999)  # artificial blocker
+        outcome = c1.execute(
+            reads=[], writes=[("p0", "free", 1), ("p0", "blocked", 2)],
+            max_attempts=1,
+        )
+        assert not outcome.committed
+        assert system.node("p0").lock("free", tx_ts=1000)[0]
+
+    def test_retry_succeeds_after_blocker_clears(self, system):
+        c1 = system.client("c1")
+        node = system.node("p0")
+        node.lock("k", tx_ts=999)
+        first = c1.execute(reads=[], writes=[("p0", "k", 1)], max_attempts=1)
+        assert not first.committed
+        node.unlock("k", tx_ts=999)
+        second = c1.execute(reads=[], writes=[("p0", "k", 1)])
+        assert second.committed
+
+
+class TestCrossPartition:
+    def test_cross_partition_commit(self, system):
+        client = system.client("c1")
+        outcome = client.execute(
+            reads=[], writes=[("p0", "a", 1), ("p1", "b", 2)]
+        )
+        assert outcome.committed
+        assert system.node("p0").read("a")[0] == 1
+        assert system.node("p1").read("b")[0] == 2
+
+    def test_write_write_conflict_on_remote(self, system):
+        """A remote item versioned above our timestamp aborts us."""
+        c1 = system.client("c1")
+        # Give the remote item a high version.
+        for _ in range(5):
+            c1.execute(reads=[], writes=[("p1", "hot", "x")])
+        old_ts = system.oracle.next_timestamp()
+        ok, _ = c1._attempt(1, [], [("p1", "hot", "y")], {})
+        assert not ok  # version > our ancient timestamp
+
+    def test_message_accounting(self, system):
+        client = system.client("c1")
+        outcome = client.execute(
+            reads=[("p0", "r")], writes=[("p1", "w", 1)]
+        )
+        assert outcome.committed
+        assert outcome.messages >= 4  # read + ts + 2 locks + commit
+        assert system.total_messages() > 0
+
+    def test_commit_abort_counters(self, system):
+        client = system.client("c1")
+        client.execute(reads=[], writes=[("p0", "k", 1)])
+        system.node("p0").lock("stuck", tx_ts=999)
+        client.execute(reads=[], writes=[("p0", "stuck", 1)], max_attempts=1)
+        assert client.commits == 1
+        assert client.aborts == 1
+
+
+class TestSerializability:
+    def test_concurrent_increments_serialize(self, system):
+        """Lost updates are impossible: read-validate-write round trips."""
+        clients = [system.client(f"c{i}") for i in range(3)]
+        system.node("p0").commit_write("n", 0, tx_ts=0)
+        for round_robin in range(9):
+            client = clients[round_robin % 3]
+            value, _version = system.node("p0").read("n")
+            outcome = client.execute(
+                reads=[("p0", "n")], writes=[("p0", "n", value + 1)]
+            )
+            assert outcome.committed
+        assert system.node("p0").read("n")[0] == 9

@@ -1,0 +1,124 @@
+"""Tests for transaction-size limits and stream fuzzing.
+
+Section 4.1: "a single transaction can only write to a fixed number of
+Tango objects. The multiappend call places a limit on the number of
+streams to which a single entry can be appended ... this limit is set
+at deployment time."
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corfu import CorfuCluster
+from repro.errors import TooManyStreamsError
+from repro.objects import TangoMap
+from repro.streams import StreamClient
+from repro.tango.runtime import TangoRuntime
+
+
+class TestWriteSetCap:
+    def test_tx_touching_too_many_objects_rejected(self):
+        cluster = CorfuCluster(num_sets=3, replication_factor=2, max_streams=4)
+        rt = TangoRuntime(cluster, client_id=1)
+        maps = [TangoMap(rt, oid=i + 1) for i in range(6)]
+        rt.begin_tx()
+        for m in maps:
+            m.put("k", 1)
+        with pytest.raises(TooManyStreamsError):
+            rt.end_tx()
+        # The runtime is usable afterwards: no half-open context.
+        assert rt._current_tx() is None
+        rt.run_transaction(lambda: maps[0].put("ok", 1))
+        assert maps[0].get("ok") == 1
+
+    def test_tx_at_the_cap_commits(self):
+        cluster = CorfuCluster(num_sets=3, replication_factor=2, max_streams=4)
+        rt = TangoRuntime(cluster, client_id=1)
+        maps = [TangoMap(rt, oid=i + 1) for i in range(4)]
+        rt.begin_tx()
+        for m in maps:
+            m.put("k", 1)
+        assert rt.end_tx() is True
+        assert all(m.get("k") == 1 for m in maps)
+
+    def test_header_overhead_matches_deployment_limit(self):
+        """More streams per entry -> less payload per entry."""
+        from repro.corfu.entry import max_payload_bytes
+
+        small = max_payload_bytes(4096, max_streams=4)
+        large = max_payload_bytes(4096, max_streams=64)
+        assert small - large == 60 * 12  # 12 bytes per extra header slot
+
+
+class TestStreamFuzz:
+    @given(
+        plan=st.lists(
+            st.tuples(
+                st.sampled_from(["append", "hole", "multi"]),
+                st.integers(min_value=0, max_value=2),  # stream id
+            ),
+            max_size=25,
+        ),
+        data=st.data(),
+    )
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sync_delivers_exactly_the_streams_entries(self, plan, data):
+        """Random mixes of appends, holes, and multiappends: every
+        stream's playback yields exactly its non-junk entries, in
+        order."""
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        writer = StreamClient(cluster.client())
+        expected = {0: [], 1: [], 2: []}
+        for action, sid in plan:
+            if action == "append":
+                offset = writer.append(b"p", (sid,))
+                expected[sid].append(offset)
+            elif action == "hole":
+                cluster.sequencer().increment(stream_ids=(sid,))
+            else:  # multi
+                other = data.draw(
+                    st.integers(min_value=0, max_value=2), label="other"
+                )
+                sids = tuple(sorted({sid, other}))
+                offset = writer.append(b"m", sids)
+                for s in sids:
+                    expected[s].append(offset)
+        reader = StreamClient(cluster.client())
+        for sid in range(3):
+            reader.open_stream(sid)
+            reader.sync(sid)
+            got = []
+            while True:
+                item = reader.readnext(sid)
+                if item is None:
+                    break
+                if not item[1].is_junk:
+                    got.append(item[0])
+            assert got == expected[sid], f"stream {sid}"
+
+    @given(
+        appends=st.integers(min_value=1, max_value=30),
+        sync_every=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_incremental_syncs_equal_one_big_sync(self, appends, sync_every):
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        incremental = StreamClient(cluster.client())
+        incremental.open_stream(1)
+        for i in range(appends):
+            incremental.append(b"e%d" % i, (1,))
+            if i % sync_every == 0:
+                incremental.sync(1)
+        incremental.sync(1)
+        fresh = StreamClient(cluster.client())
+        fresh.open_stream(1)
+        fresh.sync(1)
+        assert (
+            incremental.known_offsets(1) == fresh.known_offsets(1)
+        )

@@ -1,0 +1,128 @@
+"""Edge-case values through the full stack: serialization fidelity.
+
+Everything an application might realistically store — unicode, nesting,
+big integers, empty values, binary-ish strings — must survive the trip
+through update records, the shared log, replay, checkpoints, and GC.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.objects import TangoMap, TangoRegister
+from repro.tango.runtime import TangoRuntime
+
+# JSON-representable values, recursively.
+_json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=10,
+)
+
+
+class TestUnicodeAndNesting:
+    def test_unicode_keys_and_values(self, make_runtime):
+        m = TangoMap(make_runtime(), oid=1)
+        m.put("héllo→世界", {"emoji": "🎉", "rtl": "שלום"})
+        assert m.get("héllo→世界") == {"emoji": "🎉", "rtl": "שלום"}
+
+    def test_deeply_nested_value(self, make_runtime):
+        value = {"a": [{"b": [{"c": [1, 2, {"d": None}]}]}]}
+        reg = TangoRegister(make_runtime(), oid=1)
+        reg.write(value)
+        assert reg.read() == value
+
+    def test_empty_string_key(self, make_runtime):
+        m = TangoMap(make_runtime(), oid=1)
+        m.put("", "empty-key-value")
+        assert m.get("") == "empty-key-value"
+        assert m.contains("")
+
+    def test_large_integers(self, make_runtime):
+        reg = TangoRegister(make_runtime(), oid=1)
+        reg.write(2**62)
+        assert reg.read() == 2**62
+
+    def test_json_special_characters_in_keys(self, make_runtime):
+        m = TangoMap(make_runtime(), oid=1)
+        nasty = 'quote" backslash\\ newline\n tab\t'
+        m.put(nasty, 1)
+        assert m.get(nasty) == 1
+
+    def test_keys_with_distinct_unicode_normalization(self, make_runtime):
+        """No silent normalization: é (composed) != e+◌́ (decomposed)."""
+        m = TangoMap(make_runtime(), oid=1)
+        composed = "café"
+        decomposed = "café"
+        m.put(composed, "one")
+        m.put(decomposed, "two")
+        assert m.get(composed) == "one"
+        assert m.get(decomposed) == "two"
+        assert m.size() == 2
+
+
+class TestRoundTripProperties:
+    @given(value=_json_values)
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_any_json_value_round_trips(self, value):
+        from repro.corfu import CorfuCluster
+
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        rt1 = TangoRuntime(cluster, client_id=1)
+        rt2 = TangoRuntime(cluster, client_id=2)
+        reg1 = TangoRegister(rt1, oid=1)
+        reg2 = TangoRegister(rt2, oid=1)
+        reg1.write(value)
+        assert reg2.read() == value
+
+    @given(key=st.text(max_size=30), value=_json_values)
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_map_entries_survive_checkpoint_reload(self, key, value):
+        from repro.corfu import CorfuCluster
+
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        rt1 = TangoRuntime(cluster, client_id=1)
+        m = TangoMap(rt1, oid=1)
+        m.put(key, value)
+        m.get(key)
+        rt1.checkpoint(1)
+        fresh = TangoMap(TangoRuntime(cluster, client_id=2), oid=1)
+        assert fresh.get(key) == value
+
+
+class TestDurableGC:
+    def test_gc_persists_across_restart(self, tmp_path):
+        """Trims are durable: a restarted deployment stays reclaimed and
+        still reconstructs through checkpoints."""
+        from repro.corfu.durable import open_durable_cluster
+        from repro.errors import TrimmedError
+        from repro.tango.directory import TangoDirectory
+        from repro.tools import compact_all
+
+        data_dir = str(tmp_path / "log")
+        cluster = open_durable_cluster(data_dir, num_sets=3, replication_factor=2)
+        rt = TangoRuntime(cluster, client_id=1)
+        directory = TangoDirectory(rt)
+        m = directory.open(TangoMap, "m")
+        for i in range(10):
+            m.put(f"k{i}", i)
+        result = compact_all(rt, directory)
+        assert result["trimmed_below"] > 0
+
+        reopened = open_durable_cluster(data_dir, num_sets=3, replication_factor=2)
+        with pytest.raises(TrimmedError):
+            reopened.client().read(0)
+        rt2 = TangoRuntime(reopened, client_id=2)
+        fresh = TangoDirectory(rt2).open(TangoMap, "m")
+        assert fresh.size() == 10

@@ -1,0 +1,116 @@
+"""Tests for the OCC version table."""
+
+from repro.tango.records import NO_VERSION
+from repro.tango.versioning import VersionTable
+
+
+class TestCoarseVersions:
+    def test_initial_version(self):
+        table = VersionTable()
+        assert table.get(1) == NO_VERSION
+
+    def test_bump_advances(self):
+        table = VersionTable()
+        table.bump(1, 10)
+        assert table.get(1) == 10
+
+    def test_bump_is_monotone(self):
+        table = VersionTable()
+        table.bump(1, 10)
+        table.bump(1, 5)  # out-of-order replays must not regress
+        assert table.get(1) == 10
+
+    def test_objects_independent(self):
+        table = VersionTable()
+        table.bump(1, 10)
+        assert table.get(2) == NO_VERSION
+
+
+class TestFineGrainedVersions:
+    def test_key_version_tracked(self):
+        table = VersionTable()
+        table.bump(1, 10, key=b"a")
+        assert table.get(1, b"a") == 10
+        assert table.get(1, b"b") == NO_VERSION
+
+    def test_keyed_write_bumps_object_version(self):
+        """Coarse readers must conflict with fine-grained writers."""
+        table = VersionTable()
+        table.bump(1, 10, key=b"a")
+        assert table.get(1) == 10
+
+    def test_unkeyed_write_invalidates_keyed_reads(self):
+        """An unkeyed write may touch any sub-region."""
+        table = VersionTable()
+        table.bump(1, 5, key=b"a")
+        table.bump(1, 20)  # clear() style whole-object write
+        assert table.get(1, b"a") == 20
+        assert table.is_stale(1, b"a", 5)
+
+    def test_keyed_writes_do_not_cross_invalidate(self):
+        table = VersionTable()
+        table.bump(1, 5, key=b"a")
+        table.bump(1, 20, key=b"b")
+        assert not table.is_stale(1, b"a", 5)
+        assert table.is_stale(1, b"b", 5)
+
+
+class TestStaleness:
+    def test_fresh_read_not_stale(self):
+        table = VersionTable()
+        table.bump(1, 10, key=b"a")
+        assert not table.is_stale(1, b"a", 10)
+
+    def test_never_written_not_stale(self):
+        table = VersionTable()
+        assert not table.is_stale(1, b"a", NO_VERSION)
+
+    def test_written_after_no_version_read_is_stale(self):
+        table = VersionTable()
+        table.bump(1, 3, key=b"a")
+        assert table.is_stale(1, b"a", NO_VERSION)
+
+
+class TestCheckpointRoundTrip:
+    def test_snapshot_and_load(self):
+        table = VersionTable()
+        table.bump(1, 5, key=b"a")
+        table.bump(1, 7, key=b"b")
+        table.bump(1, 9)
+        table.bump(2, 11, key=b"x")  # other object excluded
+
+        restored = VersionTable()
+        restored.load_checkpoint(
+            1, table.get(1), table.snapshot_keys(1), table.snapshot_unkeyed(1)
+        )
+        for key in (b"a", b"b", b"zzz"):
+            assert restored.get(1, key) == table.get(1, key)
+        assert restored.get(1) == table.get(1)
+
+    def test_snapshot_keys_scoped_to_object(self):
+        table = VersionTable()
+        table.bump(1, 5, key=b"a")
+        table.bump(2, 6, key=b"a")
+        assert table.snapshot_keys(1) == ((b"a", 5),)
+
+    def test_load_empty_checkpoint(self):
+        table = VersionTable()
+        table.load_checkpoint(1, NO_VERSION, (), NO_VERSION)
+        assert table.get(1) == NO_VERSION
+
+
+class TestDropObject:
+    def test_drop_clears_everything(self):
+        table = VersionTable()
+        table.bump(1, 5, key=b"a")
+        table.bump(1, 6)
+        table.drop_object(1)
+        assert table.get(1) == NO_VERSION
+        assert table.get(1, b"a") == NO_VERSION
+
+    def test_drop_leaves_other_objects(self):
+        table = VersionTable()
+        table.bump(1, 5, key=b"a")
+        table.bump(2, 6, key=b"a")
+        table.drop_object(1)
+        assert table.get(2, b"a") == 6

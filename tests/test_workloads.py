@@ -1,0 +1,73 @@
+"""Tests for the benchmark workload generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.workloads import KeyChooser, TxShape
+
+
+class TestKeyChooser:
+    def test_uniform_range(self):
+        chooser = KeyChooser(100, "uniform", seed=1)
+        for _ in range(500):
+            assert 0 <= chooser.choose() < 100
+
+    def test_zipf_range(self):
+        chooser = KeyChooser(100, "zipf", seed=1)
+        for _ in range(500):
+            assert 0 <= chooser.choose() < 100
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            KeyChooser(100, "pareto")
+
+    def test_deterministic_by_seed(self):
+        a = KeyChooser(1000, "zipf", seed=7)
+        b = KeyChooser(1000, "zipf", seed=7)
+        assert [a.choose() for _ in range(50)] == [b.choose() for _ in range(50)]
+
+    def test_zipf_is_skewed_uniform_is_not(self):
+        def top_share(chooser, n=5000):
+            counts = {}
+            for _ in range(n):
+                k = chooser.choose()
+                counts[k] = counts.get(k, 0) + 1
+            return max(counts.values()) / n
+
+        zipf = top_share(KeyChooser(1000, "zipf", seed=2))
+        uniform = top_share(KeyChooser(1000, "uniform", seed=2))
+        assert zipf > 5 * uniform
+
+    def test_choose_distinct(self):
+        chooser = KeyChooser(1000, "uniform", seed=3)
+        keys = chooser.choose_distinct(6)
+        assert len(keys) == 6
+        assert len(set(keys)) == 6
+
+    def test_choose_distinct_tiny_universe(self):
+        """A universe smaller than the request degrades, not hangs."""
+        chooser = KeyChooser(2, "uniform", seed=4)
+        keys = chooser.choose_distinct(6)
+        assert len(keys) == 6
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_any_universe_size(self, n):
+        chooser = KeyChooser(n, "uniform", seed=5)
+        assert 0 <= chooser.choose() < n
+
+
+class TestTxShape:
+    def test_default_shape_is_3_reads_3_writes(self):
+        """Figure 9: "each transaction reads three keys and writes
+        three other keys"."""
+        shape = TxShape()
+        reads, writes = shape.sample(KeyChooser(10_000, "uniform", seed=6))
+        assert len(reads) == 3
+        assert len(writes) == 3
+        assert not set(reads) & set(writes)
+
+    def test_custom_shape(self):
+        shape = TxShape(reads=1, writes=2)
+        reads, writes = shape.sample(KeyChooser(100, "uniform", seed=7))
+        assert (len(reads), len(writes)) == (1, 2)

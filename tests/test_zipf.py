@@ -1,0 +1,92 @@
+"""Tests for the YCSB-style zipfian generator."""
+
+import random
+
+import pytest
+
+from repro.util.zipf import ScrambledZipfGenerator, ZipfGenerator, estimate_skew
+
+
+class TestZipfGenerator:
+    def test_range(self):
+        gen = ZipfGenerator(1000, rng=random.Random(1))
+        for _ in range(2000):
+            assert 0 <= gen.sample() < 1000
+
+    def test_rank_zero_most_popular(self):
+        gen = ZipfGenerator(1000, rng=random.Random(2))
+        counts = {}
+        for _ in range(20000):
+            s = gen.sample()
+            counts[s] = counts.get(s, 0) + 1
+        assert counts[0] == max(counts.values())
+
+    def test_high_skew(self):
+        """Workload 'a' skew: top 1% of keys get a large share."""
+        gen = ZipfGenerator(10000, rng=random.Random(3))
+        samples = [gen.sample() for _ in range(30000)]
+        assert estimate_skew(samples, top_fraction=0.01) > 0.3
+
+    def test_uniform_comparison(self):
+        rng = random.Random(4)
+        uniform = [rng.randrange(10000) for _ in range(30000)]
+        assert estimate_skew(uniform, top_fraction=0.01) < 0.1
+
+    def test_large_universe_setup_is_fast(self):
+        # Euler-Maclaurin path: 10M keys must not take O(n) setup.
+        gen = ZipfGenerator(10_000_000, rng=random.Random(5))
+        assert 0 <= gen.sample() < 10_000_000
+
+    def test_zeta_approximation_accuracy(self):
+        exact = ZipfGenerator._zeta(10000, 0.99)
+        brute = sum(1.0 / (i ** 0.99) for i in range(1, 10001))
+        assert abs(exact - brute) < 1e-6
+
+    def test_zeta_large_n_close_to_brute_force(self):
+        approx = ZipfGenerator._zeta(50000, 0.99)
+        brute = sum(1.0 / (i ** 0.99) for i in range(1, 50001))
+        assert abs(approx - brute) / brute < 1e-4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, theta=1.5)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, theta=0.0)
+
+    def test_callable_interface(self):
+        gen = ZipfGenerator(100, rng=random.Random(6))
+        assert 0 <= gen() < 100
+
+    def test_deterministic_with_seeded_rng(self):
+        a = ZipfGenerator(1000, rng=random.Random(42))
+        b = ZipfGenerator(1000, rng=random.Random(42))
+        assert [a.sample() for _ in range(100)] == [b.sample() for _ in range(100)]
+
+
+class TestScrambledZipf:
+    def test_range(self):
+        gen = ScrambledZipfGenerator(1000, rng=random.Random(7))
+        for _ in range(1000):
+            assert 0 <= gen.sample() < 1000
+
+    def test_hot_keys_scattered(self):
+        """Scrambling keeps the skew but spreads hot keys over the space."""
+        gen = ScrambledZipfGenerator(10000, rng=random.Random(8))
+        samples = [gen.sample() for _ in range(30000)]
+        assert estimate_skew(samples, top_fraction=0.01) > 0.3
+        counts = {}
+        for s in samples:
+            counts[s] = counts.get(s, 0) + 1
+        hottest = max(counts, key=counts.get)
+        # The hottest key is (almost surely) not key 0 after scrambling.
+        assert hottest != 0
+
+
+class TestEstimateSkew:
+    def test_empty(self):
+        assert estimate_skew([]) == 0.0
+
+    def test_single_key(self):
+        assert estimate_skew([5] * 100) == 1.0

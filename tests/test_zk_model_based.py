@@ -1,0 +1,187 @@
+"""Model-based testing: TangoZK against an in-memory reference.
+
+Random sequences of ZooKeeper operations run simultaneously against
+TangoZK (through the whole stack: runtime, streams, shared log) and a
+plain-Python reference implementation. Every result, every raised
+error, and the final tree must match exactly.
+"""
+
+from typing import Dict, Optional, Set
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corfu import CorfuCluster
+from repro.errors import (
+    BadVersionError,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+)
+from repro.objects import TangoZK
+from repro.tango.runtime import TangoRuntime
+
+
+class _RefNode:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.version = 0
+        self.children: Set[str] = set()
+
+
+class ReferenceZK:
+    """The specification: a plain dict-based znode tree."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, _RefNode] = {"/": _RefNode(b"")}
+
+    @staticmethod
+    def _parent(path: str) -> str:
+        return path.rsplit("/", 1)[0] or "/"
+
+    def create(self, path: str, data: bytes) -> str:
+        parent = self._parent(path)
+        if parent not in self.nodes:
+            raise NoNodeError(parent)
+        if path in self.nodes:
+            raise NodeExistsError(path)
+        self.nodes[path] = _RefNode(data)
+        self.nodes[parent].children.add(path.rsplit("/", 1)[1])
+        return path
+
+    def delete(self, path: str, version: int = -1) -> None:
+        node = self.nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        if node.children:
+            raise NotEmptyError(path)
+        if version != -1 and node.version != version:
+            raise BadVersionError(path)
+        del self.nodes[path]
+        parent = self._parent(path)
+        self.nodes[parent].children.discard(path.rsplit("/", 1)[1])
+
+    def set_data(self, path: str, data: bytes, version: int = -1) -> None:
+        node = self.nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        if version != -1 and node.version != version:
+            raise BadVersionError(path)
+        node.data = data
+        node.version += 1
+
+    def get_data(self, path: str):
+        node = self.nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        return node.data, node.version
+
+    def children(self, path: str):
+        node = self.nodes.get(path)
+        if node is None:
+            raise NoNodeError(path)
+        return tuple(sorted(node.children))
+
+
+_PATHS = ["/a", "/b", "/a/x", "/a/y", "/b/z", "/a/x/deep"]
+_ERRORS = (NoNodeError, NodeExistsError, NotEmptyError, BadVersionError)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.sampled_from(_PATHS), st.binary(max_size=8)),
+        st.tuples(st.just("delete"), st.sampled_from(_PATHS),
+                  st.integers(min_value=-1, max_value=2)),
+        st.tuples(st.just("set"), st.sampled_from(_PATHS), st.binary(max_size=8),
+                  st.integers(min_value=-1, max_value=2)),
+        st.tuples(st.just("get"), st.sampled_from(_PATHS)),
+        st.tuples(st.just("children"), st.sampled_from(_PATHS)),
+    ),
+    max_size=25,
+)
+
+
+def _run_both(zk, ref, op):
+    """Apply one op to both systems; return (impl_result, ref_result)."""
+
+    def attempt(fn):
+        try:
+            return ("ok", fn())
+        except _ERRORS as exc:
+            return ("err", type(exc).__name__)
+
+    kind = op[0]
+    if kind == "create":
+        return (
+            attempt(lambda: zk.create(op[1], op[2])),
+            attempt(lambda: ref.create(op[1], op[2])),
+        )
+    if kind == "delete":
+        return (
+            attempt(lambda: zk.delete(op[1], version=op[2])),
+            attempt(lambda: ref.delete(op[1], version=op[2])),
+        )
+    if kind == "set":
+        return (
+            attempt(lambda: zk.set_data(op[1], op[2], version=op[3]) and None),
+            attempt(lambda: ref.set_data(op[1], op[2], version=op[3])),
+        )
+    if kind == "get":
+        return (
+            attempt(lambda: (zk.get_data(op[1])[0], zk.get_data(op[1])[1].version)),
+            attempt(lambda: ref.get_data(op[1])),
+        )
+    return (
+        attempt(lambda: zk.get_children(op[1])),
+        attempt(lambda: ref.children(op[1])),
+    )
+
+
+class TestZKAgainstReference:
+    @given(ops=_ops)
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_op_sequences_match(self, ops):
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        rt = TangoRuntime(cluster, client_id=1)
+        zk = TangoZK(rt, oid=1, session_id="s")
+        ref = ReferenceZK()
+        for op in ops:
+            impl, spec = _run_both(zk, ref, op)
+            # set_data returns a stat in the impl and None in the ref;
+            # compare outcome kind and error type only for that op.
+            if op[0] == "set":
+                assert impl[0] == spec[0]
+                if impl[0] == "err":
+                    assert impl[1] == spec[1]
+            else:
+                assert impl == spec, f"divergence on {op}"
+        # Final trees identical (paths and versions).
+        for path in sorted(ref.nodes):
+            stat = zk.exists(path)
+            assert stat is not None, f"{path} missing in impl"
+            assert stat.version == ref.nodes[path].version
+            assert zk.get_children(path) == ref.children(path)
+        # No extra paths in the implementation either.
+        impl_paths = sorted(zk._nodes)
+        assert impl_paths == sorted(ref.nodes)
+
+    @given(ops=_ops)
+    @settings(
+        max_examples=10, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_second_view_agrees_with_reference(self, ops):
+        """A remote replica ends up equal to the reference too."""
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        rt1 = TangoRuntime(cluster, client_id=1)
+        zk1 = TangoZK(rt1, oid=1, session_id="s1")
+        ref = ReferenceZK()
+        for op in ops:
+            _run_both(zk1, ref, op)
+        rt2 = TangoRuntime(cluster, client_id=2)
+        zk2 = TangoZK(rt2, oid=1, session_id="s2")
+        zk2.exists("/")
+        assert sorted(zk2._nodes) == sorted(ref.nodes)

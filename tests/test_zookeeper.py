@@ -1,0 +1,389 @@
+"""Tests for TangoZK: the ZooKeeper interface over Tango (section 6.3)."""
+
+import pytest
+
+from repro.errors import (
+    BadVersionError,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    TransactionAborted,
+    ZKError,
+)
+from repro.objects import TangoZK
+
+
+@pytest.fixture
+def zk(make_client):
+    _rt, directory = make_client()
+    return directory.open(TangoZK, "zk", session_id="s1")
+
+
+@pytest.fixture
+def zk_pair(make_client):
+    rt1, d1 = make_client()
+    rt2, d2 = make_client()
+    zk1 = d1.open(TangoZK, "zk", session_id="s1")
+    zk2 = d2.open(TangoZK, "zk", session_id="s2")
+    return rt1, zk1, rt2, zk2
+
+
+class TestCreate:
+    def test_create_and_stat(self, zk):
+        zk.create("/a", b"data")
+        stat = zk.exists("/a")
+        assert stat is not None
+        assert stat.version == 0
+        assert stat.czxid >= 0
+
+    def test_parent_must_exist(self, zk):
+        with pytest.raises(NoNodeError):
+            zk.create("/missing/child", b"")
+
+    def test_duplicate_rejected(self, zk):
+        zk.create("/a", b"")
+        with pytest.raises(NodeExistsError):
+            zk.create("/a", b"")
+
+    def test_root_exists(self, zk):
+        assert zk.exists("/") is not None
+        with pytest.raises(NodeExistsError):
+            zk.create("/")
+
+    def test_children_tracked(self, zk):
+        zk.create("/a", b"")
+        zk.create("/a/x", b"")
+        zk.create("/a/y", b"")
+        assert zk.get_children("/a") == ("x", "y")
+        assert zk.exists("/a").num_children == 2
+
+    def test_path_validation(self, zk):
+        for bad in ("relative", "/trailing/", "/a//b"):
+            with pytest.raises(ZKError):
+                zk.create(bad, b"")
+
+    def test_sequential_nodes(self, zk):
+        zk.create("/q", b"")
+        first = zk.create("/q/item-", b"", sequential=True)
+        second = zk.create("/q/item-", b"", sequential=True)
+        assert first == "/q/item-0000000000"
+        assert second == "/q/item-0000000001"
+
+    def test_sequential_counter_survives_deletes(self, zk):
+        """cversion-based counters never reuse sequence numbers."""
+        zk.create("/q", b"")
+        first = zk.create("/q/item-", b"", sequential=True)
+        zk.delete(first)
+        second = zk.create("/q/item-", b"", sequential=True)
+        assert second == "/q/item-0000000001"
+
+    def test_ephemeral_cannot_have_children(self, zk):
+        zk.create("/e", b"", ephemeral=True)
+        with pytest.raises(ZKError):
+            zk.create("/e/child", b"")
+
+
+class TestDelete:
+    def test_delete(self, zk):
+        zk.create("/a", b"")
+        zk.delete("/a")
+        assert zk.exists("/a") is None
+
+    def test_delete_missing(self, zk):
+        with pytest.raises(NoNodeError):
+            zk.delete("/missing")
+
+    def test_delete_nonempty_rejected(self, zk):
+        zk.create("/a", b"")
+        zk.create("/a/x", b"")
+        with pytest.raises(NotEmptyError):
+            zk.delete("/a")
+
+    def test_delete_version_check(self, zk):
+        zk.create("/a", b"")
+        zk.set_data("/a", b"v1")
+        with pytest.raises(BadVersionError):
+            zk.delete("/a", version=0)
+        zk.delete("/a", version=1)
+
+    def test_delete_root_rejected(self, zk):
+        with pytest.raises(ZKError):
+            zk.delete("/")
+
+    def test_parent_children_updated(self, zk):
+        zk.create("/a", b"")
+        zk.create("/a/x", b"")
+        zk.delete("/a/x")
+        assert zk.get_children("/a") == ()
+
+
+class TestSetData:
+    def test_set_bumps_version(self, zk):
+        zk.create("/a", b"v0")
+        stat = zk.set_data("/a", b"v1")
+        assert stat.version == 1
+        data, stat2 = zk.get_data("/a")
+        assert data == b"v1"
+        assert stat2.version == 1
+        assert stat2.mzxid > stat2.czxid
+
+    def test_conditional_set(self, zk):
+        zk.create("/a", b"v0")
+        zk.set_data("/a", b"v1", version=0)
+        with pytest.raises(BadVersionError):
+            zk.set_data("/a", b"v2", version=0)
+
+    def test_set_missing(self, zk):
+        with pytest.raises(NoNodeError):
+            zk.set_data("/missing", b"")
+
+
+class TestReplication:
+    def test_views_converge(self, zk_pair):
+        _rt1, zk1, _rt2, zk2 = zk_pair
+        zk1.create("/a", b"one")
+        assert zk2.get_data("/a")[0] == b"one"
+        zk2.set_data("/a", b"two")
+        assert zk1.get_data("/a")[0] == b"two"
+
+    def test_concurrent_creates_one_winner(self, zk_pair):
+        _rt1, zk1, _rt2, zk2 = zk_pair
+        zk1.create("/a", b"first")
+        with pytest.raises(NodeExistsError):
+            zk2.create("/a", b"second")
+        assert zk2.get_data("/a")[0] == b"first"
+
+    def test_independent_subtrees_do_not_conflict(self, zk_pair):
+        """Fine-grained versioning: ops on disjoint paths commute."""
+        rt1, zk1, _rt2, zk2 = zk_pair
+        zk1.create("/left", b"")
+        zk1.create("/right", b"")
+        zk2.exists("/left")
+        rt1.begin_tx()
+        zk1.create("/left/a", b"")
+        zk2.create("/right/b", b"")  # lands in the conflict window
+        assert rt1.end_tx() is True
+
+
+class TestMulti:
+    def test_atomic_batch(self, zk):
+        zk.multi(
+            [
+                ("create", ("/batch", b"")),
+                ("create", ("/batch/x", b"1")),
+                ("set_data", ("/batch/x", b"2")),
+            ]
+        )
+        assert zk.get_data("/batch/x")[0] == b"2"
+
+    def test_multi_sees_own_effects(self, zk):
+        """Later ops observe earlier ones within the batch."""
+        results = zk.multi(
+            [
+                ("create", ("/p", b"")),
+                ("create", ("/p/seq-", b"")),
+                ("delete", ("/p/seq-",)),
+                ("create", ("/p/seq-", b"again")),
+            ]
+        )
+        assert zk.get_data("/p/seq-")[0] == b"again"
+
+    def test_failed_multi_applies_nothing(self, zk):
+        zk.create("/exists", b"")
+        with pytest.raises(NodeExistsError):
+            zk.multi(
+                [
+                    ("create", ("/fresh", b"")),
+                    ("create", ("/exists", b"")),  # fails the batch
+                ]
+            )
+        assert zk.exists("/fresh") is None
+
+    def test_unknown_multi_op(self, zk):
+        with pytest.raises(ZKError):
+            zk.multi([("rename", ("/a", "/b"))])
+
+
+class TestWatches:
+    def test_data_watch_fires_once(self, zk):
+        events = []
+        zk.create("/a", b"")
+        zk.watch("/a", lambda p, e: events.append(e))
+        zk.set_data("/a", b"1")
+        zk.set_data("/a", b"2")
+        zk.get_data("/a")
+        assert events == ["changed"]  # one-shot
+
+    def test_watch_fires_at_remote_view(self, zk_pair):
+        _rt1, zk1, _rt2, zk2 = zk_pair
+        events = []
+        zk2.watch("/a", lambda p, e: events.append((p, e)))
+        zk1.create("/a", b"")
+        zk2.exists("/a")  # playback triggers the watch
+        assert events == [("/a", "created")]
+
+    def test_delete_watch(self, zk):
+        events = []
+        zk.create("/a", b"")
+        zk.watch("/a", lambda p, e: events.append(e))
+        zk.delete("/a")
+        zk.exists("/a")
+        assert events == ["deleted"]
+
+    def test_watch_parameter_on_reads(self, zk):
+        """ZooKeeper-style read-and-watch in one call."""
+        events = []
+        zk.create("/a", b"")
+        data, _stat = zk.get_data("/a", watch=lambda p, e: events.append(e))
+        zk.set_data("/a", b"changed")
+        zk.exists("/a")
+        assert events == ["changed"]
+
+    def test_exists_watch_on_absent_node(self, zk):
+        events = []
+        assert zk.exists("/future", watch=lambda p, e: events.append(e)) is None
+        zk.create("/future", b"")
+        zk.exists("/future")
+        assert events == ["created"]
+
+    def test_get_children_watch(self, zk):
+        events = []
+        zk.create("/p", b"")
+        zk.get_children("/p", watch=lambda p, e: events.append(e))
+        zk.create("/p/kid", b"")
+        zk.get_children("/p")
+        assert events == ["children"]
+
+
+class TestSessions:
+    def test_ephemerals_listed(self, zk):
+        zk.create("/persistent", b"")
+        zk.create("/mine", b"", ephemeral=True)
+        assert zk.ephemerals() == ("/mine",)
+
+    def test_close_session_removes_ephemerals(self, zk_pair):
+        _rt1, zk1, _rt2, zk2 = zk_pair
+        zk1.create("/lock", b"", ephemeral=True)
+        assert zk2.exists("/lock") is not None
+        assert zk1.close_session() == 1
+        assert zk2.exists("/lock") is None
+
+    def test_expire_other_session(self, zk_pair):
+        """Any client may expire a dead session (leader behaviour)."""
+        _rt1, zk1, _rt2, zk2 = zk_pair
+        zk1.create("/lock", b"", ephemeral=True)
+        assert zk2.expire_session("s1") == 1
+        assert zk1.exists("/lock") is None
+
+    def test_persistent_nodes_survive_session(self, zk):
+        zk.create("/keep", b"")
+        zk.create("/drop", b"", ephemeral=True)
+        zk.close_session()
+        assert zk.exists("/keep") is not None
+
+
+class TestCrossNamespaceMoves:
+    def test_atomic_move(self, make_client):
+        """Paper section 6.3: atomically move a file between namespaces."""
+        rt, directory = make_client()
+        src = directory.open(TangoZK, "ns-a", session_id="s")
+        dst = directory.open(TangoZK, "ns-b", session_id="s")
+        src.create("/f", b"payload")
+
+        def move():
+            data, _ = src.get_data("/f")
+            src.delete("/f")
+            dst.create("/f", data)
+
+        rt.run_transaction(move)
+        assert src.exists("/f") is None
+        assert dst.get_data("/f")[0] == b"payload"
+
+    def test_conflicting_move_leaves_no_half_state(self, make_client):
+        rt1, d1 = make_client()
+        rt2, d2 = make_client()
+        src1 = d1.open(TangoZK, "ns-a", session_id="s1")
+        dst1 = d1.open(TangoZK, "ns-b", session_id="s1")
+        src2 = d2.open(TangoZK, "ns-a", session_id="s2")
+        src1.create("/f", b"original")
+        src2.exists("/f")
+        rt1.begin_tx()
+        data, _ = src1.get_data("/f")
+        src1.delete("/f")
+        dst1.create("/f", data)
+        src2.set_data("/f", b"touched")  # conflicts with the move
+        assert rt1.end_tx() is False
+        assert src1.get_data("/f")[0] == b"touched"
+        assert dst1.exists("/f") is None
+
+    def test_move_visible_at_third_party(self, make_client):
+        rt1, d1 = make_client()
+        _rt3, d3 = make_client()
+        src = d1.open(TangoZK, "ns-a", session_id="s1")
+        dst = d1.open(TangoZK, "ns-b", session_id="s1")
+        observer = d3.open(TangoZK, "ns-b", session_id="s3")
+        src.create("/f", b"x")
+
+        def move():
+            data, _ = src.get_data("/f")
+            src.delete("/f")
+            dst.create("/moved", data)
+
+        rt1.run_transaction(move)
+        assert observer.get_data("/moved")[0] == b"x"
+
+
+class TestCheckpoint:
+    def test_namespace_checkpoint_round_trip(self, make_client):
+        rt, directory = make_client()
+        zk = directory.open(TangoZK, "zk", session_id="s")
+        zk.create("/a", b"data")
+        zk.create("/a/b", b"", ephemeral=True)
+        zk.set_data("/a", b"v1")
+        zk.exists("/a")
+        rt.checkpoint(zk.oid)
+        _rt2, d2 = make_client()
+        fresh = d2.open(TangoZK, "zk", session_id="s2")
+        assert fresh.get_data("/a")[0] == b"v1"
+        assert fresh.get_data("/a")[1].version == 1
+        assert fresh.exists("/a/b").ephemeral_owner == "s"
+
+
+class TestEnsurePathAndMakepath:
+    def test_ensure_path_creates_ancestors(self, zk):
+        zk.ensure_path("/a/b/c")
+        assert zk.exists("/a") is not None
+        assert zk.exists("/a/b") is not None
+        assert zk.exists("/a/b/c") is not None
+
+    def test_ensure_path_idempotent(self, zk):
+        zk.ensure_path("/a/b")
+        zk.set_data("/a/b", b"keep-me")
+        zk.ensure_path("/a/b")  # must not recreate or reset
+        assert zk.get_data("/a/b")[0] == b"keep-me"
+
+    def test_ensure_root_is_noop(self, zk):
+        zk.ensure_path("/")
+
+    def test_create_makepath(self, zk):
+        actual = zk.create("/deep/ly/nested", b"leaf", makepath=True)
+        assert actual == "/deep/ly/nested"
+        assert zk.get_data("/deep/ly/nested")[0] == b"leaf"
+        assert zk.get_children("/deep") == ("ly",)
+
+    def test_create_makepath_existing_node_rejected(self, zk):
+        zk.create("/x", b"")
+        with pytest.raises(NodeExistsError):
+            zk.create("/x", b"", makepath=True)
+
+    def test_makepath_atomic_with_leaf(self, zk_pair):
+        """Ancestors and leaf commit together; a conflict rolls back all."""
+        rt1, zk1, _rt2, zk2 = zk_pair
+        zk1.create("/claimed", b"")
+        zk2.exists("/claimed")
+        rt1.begin_tx()
+        _ = zk1.get_data("/claimed")
+        zk1.create("/fresh/leaf", b"", makepath=True)
+        zk2.set_data("/claimed", b"moved")  # invalidate the read
+        assert rt1.end_tx() is False
+        assert zk1.exists("/fresh") is None  # nothing half-created
