@@ -87,7 +87,7 @@ class DedupStore:
                 self._chunks.put(
                     digest, base64.b64encode(chunk).decode("ascii")
                 )
-            for digest in set(hashes):
+            for digest in sorted(set(hashes)):
                 count = self._refs.get(digest, 0)
                 self._refs.put(digest, count + hashes.count(digest))
             self._manifests.put(name, hashes)
@@ -107,7 +107,7 @@ class DedupStore:
             hashes = self._manifests.get(name)
             if hashes is None:
                 raise FileNotFoundError(name)
-            for digest in set(hashes):
+            for digest in sorted(set(hashes)):
                 count = self._refs.get(digest, 0) - hashes.count(digest)
                 if count > 0:
                     self._refs.put(digest, count)

@@ -65,7 +65,9 @@ class DurableFlashUnit(FlashUnit):
                 break  # torn record
             data = raw[body_start : body_start + length]
             if op == _OP_WRITE:
-                self._pages[address] = data
+                # Recovery replays frames the guarded write() path
+                # already validated before persisting them.
+                self._pages[address] = data  # tangolint: disable=TL005
             elif op == _OP_TRIM:
                 self._pages.pop(address, None)
                 self._trimmed_sparse.add(address)

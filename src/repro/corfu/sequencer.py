@@ -74,8 +74,13 @@ class Sequencer:
         """Install recovered state into a fresh sequencer instance.
 
         Called by reconfiguration after recovering the tail via the slow
-        check and the backpointer map via a backward log scan.
+        check and the backpointer map via a backward log scan. A
+        bootstrap carrying a stale epoch is rejected: state recovered
+        under an old projection must never overwrite a sequencer that
+        has already been sealed into a newer one.
         """
+        if epoch < self._epoch:
+            raise SealedError(self._epoch)
         self._down = False
         self._epoch = epoch
         self._tail = tail

@@ -23,11 +23,11 @@ from __future__ import annotations
 import base64
 import itertools
 import json
-import random
 from typing import List, Optional, Tuple
 
 from repro.errors import LedgerClosedError, LedgerFencedError
 from repro.tango.object import TangoObject
+from repro.util.ident import default_source
 
 _STATE_OPEN = "open"
 _STATE_CLOSED = "closed"
@@ -48,9 +48,10 @@ class Ledger(TangoObject):
         self._entry_offsets: List[int] = []
         self._writer: Optional[str] = None
         self._state = _STATE_OPEN
-        # Local (soft) writer identity.
+        # Local (soft) writer identity, drawn from the seedable process
+        # identity source so deterministic-replay tests can pin it.
         if writer_token is None:
-            writer_token = f"writer-{random.getrandbits(48):012x}"
+            writer_token = default_source().writer_token()
         self.writer_token = writer_token
         self._next_seq = 0
         super().__init__(runtime, oid, host_view=host_view)

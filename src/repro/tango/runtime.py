@@ -29,7 +29,6 @@ Core mechanics implemented here:
 from __future__ import annotations
 
 import itertools
-import random
 import threading
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -56,6 +55,7 @@ from repro.tango.records import (
 )
 from repro.tango.transaction import PendingTx, TxContext
 from repro.tango.versioning import VersionTable
+from repro.util.ident import default_source
 
 #: How many no-progress sync+play rounds end_tx tolerates while waiting
 #: for another transaction's decision record before giving up. In the
@@ -73,7 +73,10 @@ class TangoRuntime:
             accepted as a convenience (a fresh client + stream client is
             created).
         client_id: unique 31-bit client identifier used to mint
-            transaction ids; random when omitted.
+            transaction ids; drawn from the process identity source
+            when omitted (seedable via
+            :func:`repro.util.ident.seed_identities` so replay tests
+            can pin transaction ids).
         name: diagnostic label.
     """
 
@@ -89,7 +92,7 @@ class TangoRuntime:
         self._streams = streams
         self.name = name
         if client_id is None:
-            client_id = random.getrandbits(31) | 1
+            client_id = default_source().client_id()
         self._client_id = client_id & 0x7FFFFFFF
         self._tx_seq = itertools.count(1)
         self._tls = threading.local()

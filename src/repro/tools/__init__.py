@@ -1,5 +1,6 @@
-"""Operational tooling: log inspection and integrity checking."""
+"""Operational tooling: log inspection, integrity checking, linting."""
 
+from repro.tools.discovery import iter_python_files, module_name_for
 from repro.tools.inspect import (
     LogDoctorReport,
     check_log,
@@ -8,6 +9,7 @@ from repro.tools.inspect import (
     format_dump,
     stream_summary,
 )
+from repro.tools.lint import Diagnostic, lint_paths
 
 __all__ = [
     "dump_log",
@@ -16,4 +18,8 @@ __all__ = [
     "check_log",
     "compact_all",
     "LogDoctorReport",
+    "iter_python_files",
+    "module_name_for",
+    "lint_paths",
+    "Diagnostic",
 ]

@@ -1,0 +1,66 @@
+"""Source-tree discovery shared by the operational tools.
+
+Both the linter (:mod:`repro.tools.lint`) and ad-hoc inspection scripts
+need to walk a package tree and enumerate Python modules; this module is
+the single implementation so the tools never disagree about what counts
+as a source file.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Sequence
+
+#: Directory names that never contain lintable source.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".hg", ".tox", ".venv", "venv"})
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under *paths*, in sorted, stable order.
+
+    Each element of *paths* may be a file (yielded as-is when it ends in
+    ``.py``) or a directory (walked recursively, skipping
+    :data:`SKIP_DIRS`). Paths are yielded exactly once even when the
+    inputs overlap.
+    """
+    seen = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in SKIP_DIRS)
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                if full not in seen:
+                    seen.add(full)
+                    yield full
+
+
+def module_name_for(path: str) -> str:
+    """Best-effort dotted module name for *path* (``a/b/c.py`` -> ``a.b.c``).
+
+    The name is derived purely from the path — enough for diagnostics
+    and reports; it performs no imports.
+    """
+    norm = os.path.normpath(path)
+    parts: List[str] = norm.split(os.sep)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    # Strip leading non-package path components (e.g. "src").
+    for anchor in ("repro",):
+        if anchor in parts:
+            parts = parts[parts.index(anchor):]
+            break
+    return ".".join(p for p in parts if p not in (".", ""))
+
+
+def path_parts(path: str) -> Iterable[str]:
+    """The normalized components of *path* (for scope checks)."""
+    return tuple(os.path.normpath(path).split(os.sep))

@@ -1,0 +1,39 @@
+"""tangolint: a protocol-conformance linter for the Tango reproduction.
+
+The papers this repo reproduces rest on disciplines Python cannot
+enforce at runtime — apply-only view mutation, deterministic replay,
+the write-once/seal storage protocol. tangolint enforces them
+statically with an AST rule catalog (TL001–TL008); see ``docs/LINT.md``
+for the catalog and ``python -m repro.tools.lint --help`` for the CLI.
+
+Programmatic use::
+
+    from repro.tools.lint import lint_paths, render_text
+    findings = lint_paths(["src/repro"])
+    print(render_text(findings))
+"""
+
+from repro.tools.lint.engine import (
+    Diagnostic,
+    ParsedModule,
+    Rule,
+    Severity,
+    lint_file,
+    lint_paths,
+    render_json,
+    render_text,
+)
+from repro.tools.lint.rules import ALL_RULES, rules_by_id
+
+__all__ = [
+    "ALL_RULES",
+    "Diagnostic",
+    "ParsedModule",
+    "Rule",
+    "Severity",
+    "lint_file",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "rules_by_id",
+]

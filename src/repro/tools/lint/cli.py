@@ -1,0 +1,101 @@
+"""The tangolint command line.
+
+``python -m repro.tools.lint [--json] [--select RULES] paths...`` — or
+the ``tangolint`` console script. Exits 0 when clean, 1 when any
+finding survives suppression filtering, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.tools.lint.engine import lint_paths, render_json, render_text
+from repro.tools.lint.rules import ALL_RULES, rules_by_id
+
+
+def _default_paths() -> List[str]:
+    """Lint ``src/repro`` when run from a checkout, else the cwd."""
+    candidate = os.path.join("src", "repro")
+    return [candidate] if os.path.isdir(candidate) else ["."]
+
+
+def _parse_select(value: str) -> List[str]:
+    known = rules_by_id()
+    wanted = [part.strip().upper() for part in value.split(",") if part.strip()]
+    unknown = [rule for rule in wanted if rule not in known]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return wanted
+
+
+def _list_rules() -> str:
+    lines = ["tangolint rule catalog:", ""]
+    for rule in ALL_RULES:
+        lines.append(
+            f"  {rule.rule_id}  {rule.title}  "
+            f"[{rule.severity.value}, paper {rule.paper_section}]"
+        )
+        lines.append(f"        {rule.rationale}")
+    lines.append("")
+    lines.append(
+        "suppress inline with '# tangolint: disable=TL00X' "
+        "(see docs/LINT.md)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tangolint",
+        description=(
+            "Statically check the Tango/CORFU protocol invariants "
+            "(apply-only views, deterministic replay, write-once/seal "
+            "discipline) across a source tree."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro or .)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--select",
+        type=_parse_select,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = args.paths or _default_paths()
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    findings = lint_paths(paths, select=args.select)
+    report = render_json(findings) if args.json else render_text(findings)
+    print(report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

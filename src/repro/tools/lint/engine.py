@@ -1,0 +1,241 @@
+"""tangolint's engine: parsing, rule dispatch, suppression, reporting.
+
+The paper states Tango's correctness conditions in prose — "the view
+must be modified only by the Tango runtime via the apply upcall"
+(section 3.1), replay must be deterministic for state machine
+replication to converge, the write-once/seal discipline of CORFU's
+storage protocol (section 2.2) — but Python cannot enforce any of them
+at runtime without unacceptable overhead. tangolint enforces them
+statically: each rule in :mod:`repro.tools.lint.rules` is an AST check
+encoding one such invariant, and this module provides the machinery
+they all share.
+
+Pipeline: :func:`lint_paths` discovers files (via
+:mod:`repro.tools.discovery`), parses each one once into a
+:class:`ParsedModule`, dispatches every selected rule against it, drops
+findings suppressed by ``# tangolint: disable=...`` comments, and
+returns sorted :class:`Diagnostic` objects. :func:`render_text` and
+:func:`render_json` turn them into reports.
+
+Suppressions:
+
+- ``# tangolint: disable=TL001,TL005`` on a line suppresses those rules
+  on that line;
+- ``# tangolint: disable-next-line=TL001`` suppresses them on the line
+  below (for lines too long to carry a trailing comment);
+- omitting the rule list (``# tangolint: disable``) suppresses every
+  rule on the target line.
+
+A suppression is a claim that a human has checked the invariant by
+hand; it should always ride with a justifying comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import enum
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.tools.discovery import iter_python_files
+
+#: Rule id used for files the engine cannot parse at all.
+PARSE_ERROR_ID = "TL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*tangolint:\s*disable(?P<next>-next-line)?"
+    r"(?:\s*=\s*(?P<rules>[A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*))?"
+)
+
+#: Sentinel meaning "all rules suppressed on this line".
+_ALL = "*"
+
+
+class Severity(enum.Enum):
+    """How bad a finding is. Errors fail the build; warnings inform."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule fired at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.suppressions = _collect_suppressions(self.lines)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        active = self.suppressions.get(line)
+        if not active:
+            return False
+        return _ALL in active or rule_id in active
+
+
+def _collect_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map line number (1-based) -> set of suppressed rule ids."""
+    table: Dict[int, Set[str]] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        target = index + 1 if match.group("next") else index
+        rules = match.group("rules")
+        ids = (
+            {_ALL}
+            if rules is None
+            else {r.strip() for r in rules.split(",")}
+        )
+        table.setdefault(target, set()).update(ids)
+    return table
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding diagnostics. The engine handles suppression filtering.
+    """
+
+    rule_id: str = "TL999"
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    #: The section of the Tango/CORFU papers this rule encodes.
+    paper_section: str = ""
+    #: One-paragraph rationale, shown by ``--list-rules`` and in docs.
+    rationale: str = ""
+
+    def check(self, module: ParsedModule) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, module: ParsedModule, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+def parse_module(path: str) -> Tuple[Optional[ParsedModule], Optional[Diagnostic]]:
+    """Parse *path*; returns (module, None) or (None, TL000 diagnostic)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Diagnostic(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule_id=PARSE_ERROR_ID,
+            message=f"cannot parse file: {exc.msg}",
+            severity=Severity.ERROR,
+        )
+    return ParsedModule(path, source, tree), None
+
+
+def lint_file(path: str, rules: Sequence[Rule]) -> List[Diagnostic]:
+    """Run *rules* over one file, honouring inline suppressions."""
+    module, parse_error = parse_module(path)
+    if module is None:
+        return [parse_error] if parse_error is not None else []
+    findings: List[Diagnostic] = []
+    for rule in rules:
+        for diagnostic in rule.check(module):
+            if not module.is_suppressed(diagnostic.rule_id, diagnostic.line):
+                findings.append(diagnostic)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Lint every Python file under *paths* with the selected rules.
+
+    *select* restricts to the given rule ids (e.g. ``["TL001"]``);
+    *rules* overrides the default registry entirely (used by tests).
+    """
+    if rules is None:
+        from repro.tools.lint.rules import ALL_RULES
+
+        rules = ALL_RULES
+    if select is not None:
+        wanted = set(select)
+        rules = [r for r in rules if r.rule_id in wanted]
+    findings: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return sorted(findings)
+
+
+def render_text(findings: Sequence[Diagnostic]) -> str:
+    """Human-readable report: one ``path:line:col`` line per finding."""
+    if not findings:
+        return "tangolint: no findings"
+    lines = [d.render() for d in findings]
+    errors = sum(1 for d in findings if d.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"tangolint: {len(findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s))"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Diagnostic]) -> str:
+    """Machine-readable report (stable schema, for CI integration)."""
+    payload = {
+        "version": 1,
+        "findings": [d.to_dict() for d in findings],
+        "summary": {
+            "total": len(findings),
+            "errors": sum(
+                1 for d in findings if d.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for d in findings if d.severity is Severity.WARNING
+            ),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

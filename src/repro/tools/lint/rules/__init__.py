@@ -1,0 +1,39 @@
+"""The tangolint rule catalog.
+
+Each rule encodes one invariant the papers state in prose; see
+``docs/LINT.md`` for the full catalog with paper citations and
+suppression guidance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.tools.lint.engine import Rule
+from repro.tools.lint.rules.corfu import EpochCheckBeforeMutation, WriteOncePages
+from repro.tools.lint.rules.determinism import NoReplayNondeterminism
+from repro.tools.lint.rules.hygiene import (
+    ExplicitLogEncoding,
+    NoMutableDefaults,
+    NoSwallowedProtocolErrors,
+)
+from repro.tools.lint.rules.tango import ApplyOnlyMutation, SyncBeforeRead
+
+#: Every rule, in id order. Instantiated once; rules are stateless.
+ALL_RULES: Tuple[Rule, ...] = (
+    ApplyOnlyMutation(),      # TL001
+    SyncBeforeRead(),         # TL002
+    NoReplayNondeterminism(), # TL003
+    EpochCheckBeforeMutation(),  # TL004
+    WriteOncePages(),         # TL005
+    NoSwallowedProtocolErrors(),  # TL006
+    ExplicitLogEncoding(),    # TL007
+    NoMutableDefaults(),      # TL008
+)
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    return {rule.rule_id: rule for rule in ALL_RULES}
+
+
+__all__ = ["ALL_RULES", "rules_by_id"]

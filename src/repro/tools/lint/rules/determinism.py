@@ -1,0 +1,128 @@
+"""Rule TL003: no nondeterminism in replay paths.
+
+State machine replication converges only if every client computes the
+same view from the same log prefix (paper section 3.1). Any ambient
+nondeterminism — wall clocks, unseeded randomness, process-unique ids,
+set iteration order — inside code that runs during replay silently
+breaks that guarantee: tests pass on one machine and views diverge on
+another.
+
+The rule covers every module except the benchmark harness and the
+operational tools (``repro/bench``, ``repro/tools``), which legitimately
+read wall clocks and are never replayed. Seeded generators
+(``random.Random(seed)``) are allowed everywhere — determinism comes
+from the seed, which callers inject.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Tuple
+
+from repro.tools.discovery import path_parts
+from repro.tools.lint.engine import Diagnostic, ParsedModule, Rule, Severity
+from repro.tools.lint.rules.common import import_aliases
+
+#: Path components whose files are exempt (never on a replay path).
+_EXEMPT_PARTS = frozenset({"bench", "tools"})
+
+#: module -> banned attributes (None = every attribute is banned).
+_BANNED: dict = {
+    "time": frozenset(
+        {
+            "time", "time_ns", "monotonic", "monotonic_ns",
+            "perf_counter", "perf_counter_ns", "clock_gettime",
+        }
+    ),
+    "random": None,  # everything except the allowlist below
+    "os": frozenset({"urandom"}),
+    "uuid": frozenset({"uuid1", "uuid3", "uuid4", "uuid5", "getnode"}),
+    "secrets": None,
+}
+
+#: Deterministic (seedable) constructors allowed from banned modules.
+_ALLOWED_ATTRS = {"random": frozenset({"Random"})}
+
+
+class NoReplayNondeterminism(Rule):
+    """TL003: replay paths must be deterministic."""
+
+    rule_id = "TL003"
+    title = "no nondeterminism in replay paths"
+    severity = Severity.ERROR
+    paper_section = "§3.1"
+    rationale = (
+        "Apply upcalls, checkpoint codecs, the runtime, and the "
+        "simulation engine all execute during (or feed) deterministic "
+        "replay. Wall clocks, unseeded randomness, os.urandom, uuid, "
+        "id(), and iteration over sets make replay "
+        "machine/run-dependent, so two clients playing the same log "
+        "prefix can disagree. Inject seeded random.Random instances "
+        "instead, and sort sets before iterating."
+    )
+
+    def check(self, module: ParsedModule) -> Iterable[Diagnostic]:
+        if _EXEMPT_PARTS & set(path_parts(module.path)):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                banned = self._banned_call(node, aliases)
+                if banned is not None:
+                    yield self.diag(
+                        module,
+                        node,
+                        f"call to nondeterministic '{banned}' on a "
+                        f"replay path; inject a seeded source instead",
+                    )
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.iter
+                if self._is_set_expr(target, aliases):
+                    yield self.diag(
+                        module,
+                        target,
+                        "iteration over a set on a replay path depends "
+                        "on hash order; wrap it in sorted(...)",
+                    )
+
+    def _banned_call(
+        self, node: ast.Call, aliases: dict
+    ) -> Optional[str]:
+        resolved = self._resolve(node.func, aliases)
+        if resolved is None:
+            return None
+        mod, attr = resolved
+        if mod == "builtins" and attr == "id":
+            return "id()"
+        banned = _BANNED.get(mod, frozenset())
+        if banned is None:
+            if attr in _ALLOWED_ATTRS.get(mod, frozenset()):
+                return None
+            return f"{mod}.{attr}"
+        if attr in banned:
+            return f"{mod}.{attr}"
+        return None
+
+    @staticmethod
+    def _resolve(func: ast.expr, aliases: dict) -> Optional[Tuple[str, str]]:
+        """(module, attribute) for a call target, through import aliases."""
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            origin = aliases.get(func.value.id)
+            if origin is not None and origin[1] is None:
+                return origin[0], func.attr
+            return None
+        if isinstance(func, ast.Name):
+            if func.id == "id" and func.id not in aliases:
+                return "builtins", "id"
+            origin = aliases.get(func.id)
+            if origin is not None and origin[1] is not None:
+                return origin[0], origin[1]
+        return None
+
+    def _is_set_expr(self, node: ast.expr, aliases: dict) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset") and node.func.id not in aliases:
+                return True
+        return False

@@ -1,0 +1,182 @@
+"""Rules TL006–TL008: failure-handling and API hygiene.
+
+These encode the paper's operational assumptions rather than a single
+protocol step: clients *must see* protocol errors to react to them
+(section 5's reconfiguration loop only works if SealedError reaches the
+retry logic), everything that crosses the log must be explicitly
+encoded, and public APIs must not leak shared mutable state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.tools.lint.engine import Diagnostic, ParsedModule, Rule, Severity
+
+#: Serialization modules whose formats are implicit / code-executing.
+_BANNED_SERIALIZERS = frozenset({"pickle", "cPickle", "marshal", "shelve", "dill"})
+
+#: Mutable-literal constructors that must not appear as defaults.
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+class NoSwallowedProtocolErrors(Rule):
+    """TL006: retry loops must not blind-catch protocol errors."""
+
+    rule_id = "TL006"
+    title = "no swallowed protocol errors in retry loops"
+    severity = Severity.ERROR
+    paper_section = "§2.2, §5"
+    rationale = (
+        "The client protocol reacts to typed errors: WrittenError means "
+        "'retry with a fresh offset', SealedError means 'fetch the new "
+        "projection'. A bare except (anywhere) or a broad 'except "
+        "Exception' inside a retry loop that never re-raises swallows "
+        "those signals, so a sealed client spins forever against a dead "
+        "configuration instead of reconfiguring. Catch the specific "
+        "error types the protocol defines."
+    )
+
+    def check(self, module: ParsedModule) -> Iterable[Diagnostic]:
+        loops = [
+            n for n in ast.walk(module.tree) if isinstance(n, (ast.While, ast.For))
+        ]
+        for handler in (
+            n for n in ast.walk(module.tree) if isinstance(n, ast.ExceptHandler)
+        ):
+            reraises = any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+            if handler.type is None:
+                if not reraises:
+                    yield self.diag(
+                        module,
+                        handler,
+                        "bare 'except:' swallows every protocol error "
+                        "(TangoError, SealedError, ...); catch specific "
+                        "types",
+                    )
+                continue
+            if reraises:
+                continue
+            if self._is_blind(handler.type) and self._inside(handler, loops):
+                yield self.diag(
+                    module,
+                    handler,
+                    "'except Exception' inside a retry loop swallows "
+                    "protocol errors (SealedError/TangoError) without "
+                    "re-raising; catch the specific errors the protocol "
+                    "defines",
+                )
+
+    @staticmethod
+    def _is_blind(node: ast.expr) -> bool:
+        names = []
+        if isinstance(node, ast.Tuple):
+            names = [e.id for e in node.elts if isinstance(e, ast.Name)]
+        elif isinstance(node, ast.Name):
+            names = [node.id]
+        return any(n in ("Exception", "BaseException") for n in names)
+
+    @staticmethod
+    def _inside(handler: ast.ExceptHandler, loops: list) -> bool:
+        return any(
+            loop.lineno <= handler.lineno <= max(
+                (n.lineno for n in ast.walk(loop) if hasattr(n, "lineno")),
+                default=loop.lineno,
+            )
+            for loop in loops
+        )
+
+
+class ExplicitLogEncoding(Rule):
+    """TL007: payloads cross the log via repro.util.encoding, not pickle."""
+
+    rule_id = "TL007"
+    title = "explicit encoding for log payloads"
+    severity = Severity.ERROR
+    paper_section = "§3.1, §4.2"
+    rationale = (
+        "Log entries are flat byte strings shared by every client "
+        "version; their format is a protocol, not an implementation "
+        "detail. pickle/marshal round-trips tie the log format to the "
+        "Python heap (and execute code on load — a log entry is remote "
+        "input), and repr/eval round-trips are worse. All record "
+        "serialization must go through repro.util.encoding (or an "
+        "explicit format like JSON for opaque application payloads)."
+    )
+
+    def check(self, module: ParsedModule) -> Iterable[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _BANNED_SERIALIZERS:
+                        yield self.diag(
+                            module,
+                            node,
+                            f"import of '{alias.name}': log payloads "
+                            f"must use repro.util.encoding, not "
+                            f"implicit serializers",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _BANNED_SERIALIZERS:
+                    yield self.diag(
+                        module,
+                        node,
+                        f"import from '{node.module}': log payloads "
+                        f"must use repro.util.encoding, not implicit "
+                        f"serializers",
+                    )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("eval", "exec"):
+                    yield self.diag(
+                        module,
+                        node,
+                        f"'{node.func.id}()' on data is a code-executing "
+                        f"decode path; log payloads need an explicit "
+                        f"encoding",
+                    )
+
+
+class NoMutableDefaults(Rule):
+    """TL008: no mutable default arguments in public APIs."""
+
+    rule_id = "TL008"
+    title = "no mutable default arguments"
+    severity = Severity.ERROR
+    paper_section = "—"
+    rationale = (
+        "A mutable default is shared across every call and every "
+        "client on the process, which in a multi-runtime deployment "
+        "aliases state between supposedly independent clients — the "
+        "exact cross-client channel the shared log is supposed to be. "
+        "Use None and construct inside the function."
+    )
+
+    def check(self, module: ParsedModule) -> Iterable[Diagnostic]:
+        for fn in (
+            n
+            for n in ast.walk(module.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            defaults = list(fn.args.defaults) + [
+                d for d in fn.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.diag(
+                        module,
+                        default,
+                        f"mutable default argument in {fn.name}(); "
+                        f"default to None and construct per call",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CALLS
+        return False

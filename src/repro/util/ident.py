@@ -1,0 +1,66 @@
+"""Seedable identity generation for clients and writers.
+
+Client ids (which mint transaction ids) and BookKeeper writer tokens
+used to be drawn straight from ``random.getrandbits``, which made every
+run of the system — and therefore every log — unique. That is fine in
+production but fatal for deterministic-replay testing: two runs of the
+same workload produced different transaction ids, so logs could not be
+compared or replayed bit-for-bit (tangolint rule TL003).
+
+This module routes all identity generation through one injectable,
+seedable source. By default identities are still drawn from a
+fresh-seeded :class:`random.Random` (unique per process, as before);
+tests call :func:`seed_identities` to pin the whole sequence::
+
+    from repro.util.ident import seed_identities
+    seed_identities(42)          # every client id / writer token is now
+    runtime = TangoRuntime(...)  # reproducible across runs
+
+Callers that need full control (e.g. one deterministic source per
+simulated client) construct their own :class:`IdentitySource` and pass
+the ids/tokens explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Optional
+
+
+class IdentitySource:
+    """A thread-safe, seedable source of client ids and writer tokens."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def seed(self, value: int) -> None:
+        """Re-seed, making every subsequent identity reproducible."""
+        with self._lock:
+            self._rng.seed(value)
+
+    def client_id(self) -> int:
+        """A non-zero 31-bit client identifier (paper: tx ids embed it)."""
+        with self._lock:
+            return self._rng.getrandbits(31) | 1
+
+    def writer_token(self) -> str:
+        """A BookKeeper writer token (single-writer fencing identity)."""
+        with self._lock:
+            return f"writer-{self._rng.getrandbits(48):012x}"
+
+
+#: Process-wide default source. Unseeded (unique per process) unless a
+#: test pins it via :func:`seed_identities`.
+_DEFAULT = IdentitySource()
+
+
+def default_source() -> IdentitySource:
+    """The process-wide identity source."""
+    return _DEFAULT
+
+
+def seed_identities(seed: int) -> None:
+    """Pin the process-wide identity sequence (for deterministic tests)."""
+    _DEFAULT.seed(seed)

@@ -1,0 +1,25 @@
+"""Suppression fixtures: findings silenced by inline comments."""
+
+
+class TangoObject:
+    pass
+
+
+class SuppressedCounter(TangoObject):
+    def __init__(self, runtime, oid):
+        self._value = 0
+        self._runtime = runtime
+
+    def apply(self, payload, offset):
+        self._value += 1
+
+    def rebuild_cache(self):
+        # Hand-verified: runs only under the play lock during recovery.
+        self._value = 0  # tangolint: disable=TL001
+
+    def rebuild_cache_long_line(self):
+        # tangolint: disable-next-line=TL001
+        self._value = 0
+
+    def blanket(self):
+        self._value = 0  # tangolint: disable

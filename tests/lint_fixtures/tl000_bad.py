@@ -1,0 +1,4 @@
+"""TL000: files the engine cannot parse still produce a diagnostic."""
+
+def broken(:
+    pass

@@ -1,0 +1,24 @@
+"""TL001 bad: a mutator writes the view directly instead of via apply."""
+
+
+class TangoObject:
+    pass
+
+
+class BadCounter(TangoObject):
+    def __init__(self, runtime, oid):
+        self._value = 0
+        self._runtime = runtime
+
+    def apply(self, payload, offset):
+        self._value += 1
+
+    def increment(self):
+        # Application thread mutating the view: replicas diverge.
+        self._value += 1
+
+    def reset(self):
+        self._value = 0
+
+    def drop(self):
+        del self._value

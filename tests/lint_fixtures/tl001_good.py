@@ -1,0 +1,31 @@
+"""TL001 good: mutators route through update_helper; apply owns the view."""
+
+import json
+
+
+class TangoObject:
+    pass
+
+
+class GoodCounter(TangoObject):
+    def __init__(self, runtime, oid):
+        self._value = 0
+        self._runtime = runtime
+        self._local_cursor = 0  # soft state, not part of the view
+
+    def apply(self, payload, offset):
+        self._value += json.loads(payload.decode("utf-8"))["n"]
+
+    def _update(self, payload):
+        self._runtime.update_helper(0, payload)
+
+    def _query(self):
+        self._runtime.query_helper(0)
+
+    def increment(self, n=1):
+        self._update(json.dumps({"op": "add", "n": n}).encode("utf-8"))
+        self._local_cursor += 1
+
+    def value(self):
+        self._query()
+        return self._value

@@ -1,0 +1,18 @@
+"""TL002 bad: an accessor returns view state without syncing first."""
+
+
+class TangoObject:
+    pass
+
+
+class StaleRegister(TangoObject):
+    def __init__(self, runtime, oid):
+        self._stored = None
+        self._runtime = runtime
+
+    def apply(self, payload, offset):
+        self._stored = payload
+
+    def read(self):
+        # No self._query() / query_helper first: arbitrarily stale.
+        return self._stored

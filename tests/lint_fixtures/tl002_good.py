@@ -1,0 +1,25 @@
+"""TL002 good: accessors sync before reading the view."""
+
+
+class TangoObject:
+    pass
+
+
+class FreshRegister(TangoObject):
+    def __init__(self, runtime, oid):
+        self._stored = None
+        self._runtime = runtime
+
+    def apply(self, payload, offset):
+        self._stored = payload
+
+    def _query(self):
+        self._runtime.query_helper(0)
+
+    def read(self):
+        self._query()
+        return self._stored
+
+    def read_upto(self, offset):
+        self._runtime.query_helper(0, upto=offset)
+        return self._stored

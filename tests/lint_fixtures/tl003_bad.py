@@ -1,0 +1,27 @@
+"""TL003 bad: ambient nondeterminism on replay paths."""
+
+import json
+import random
+import time
+
+
+class TangoObject:
+    pass
+
+
+class FlakyObject(TangoObject):
+    def __init__(self, runtime, oid):
+        self._entries = {}
+        self._runtime = runtime
+
+    def apply(self, payload, offset):
+        # Wall clock and unseeded randomness inside the apply upcall:
+        # every replica computes a different view.
+        self._entries[time.time()] = payload
+        self._entries[random.getrandbits(16)] = offset
+
+    def get_checkpoint(self):
+        keys = []
+        for key in set(self._entries):
+            keys.append(key)
+        return json.dumps(keys).encode("utf-8")

@@ -1,0 +1,24 @@
+"""TL003 good: injected seeds, sorted iteration, no ambient clocks."""
+
+import json
+import random
+
+
+class TangoObject:
+    pass
+
+
+class SteadyObject(TangoObject):
+    def __init__(self, runtime, oid, seed=0):
+        self._entries = {}
+        self._runtime = runtime
+        self._rng = random.Random(seed)  # seeded: deterministic
+
+    def apply(self, payload, offset):
+        self._entries[offset] = payload
+
+    def get_checkpoint(self):
+        keys = []
+        for key in sorted(set(self._entries)):
+            keys.append(key)
+        return json.dumps(keys).encode("utf-8")

@@ -1,0 +1,18 @@
+"""TL004 bad: a storage handler mutates state before checking the epoch."""
+
+
+class LeakyUnit:
+    def __init__(self, name):
+        self._pages = {}
+        self._epoch = 0
+
+    def write(self, address, data, epoch):
+        # Installs the page first; a request from a sealed epoch lands
+        # anyway and the log forks.
+        self._pages[address] = data
+        if epoch < self._epoch:
+            raise RuntimeError("sealed")
+
+    def trim(self, address, epoch):
+        # Never validates the epoch at all.
+        self._pages.pop(address, None)

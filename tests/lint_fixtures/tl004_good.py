@@ -1,0 +1,30 @@
+"""TL004 good: every epoch-carrying handler validates before mutating."""
+
+
+class SealedError(Exception):
+    pass
+
+
+class GuardedUnit:
+    def __init__(self, name):
+        self._pages = {}
+        self._epoch = 0
+
+    def _check_epoch(self, epoch):
+        if epoch < self._epoch:
+            raise SealedError(self._epoch)
+
+    def write(self, address, data, epoch):
+        self._check_epoch(epoch)
+        if address in self._pages:
+            raise RuntimeError("written")
+        self._pages[address] = data
+
+    def trim(self, address, epoch):
+        self._check_epoch(epoch)
+        self._pages.pop(address, None)
+
+    def seal(self, epoch):
+        if epoch <= self._epoch:
+            raise SealedError(self._epoch)
+        self._epoch = epoch

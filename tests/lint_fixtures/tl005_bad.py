@@ -1,0 +1,26 @@
+"""TL005 bad: pages installed outside the guarded write path."""
+
+
+class OverwritingUnit:
+    def __init__(self, name):
+        self._pages = {}
+        self._epoch = 0
+
+    def _check_epoch(self, epoch):
+        if epoch < self._epoch:
+            raise RuntimeError("sealed")
+
+    def write(self, address, data, epoch):
+        self._check_epoch(epoch)
+        if address in self._pages:
+            raise RuntimeError("written")
+        self._pages[address] = data
+
+    def patch(self, address, data, epoch):
+        # Bypasses the write-once check: silently overwrites committed
+        # data, breaking chain replication's race arbitration.
+        self._check_epoch(epoch)
+        self._pages[address] = data
+
+    def reset(self):
+        self._pages = {}

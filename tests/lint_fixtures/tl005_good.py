@@ -1,0 +1,25 @@
+"""TL005 good: only write() installs pages; trims delete, never store."""
+
+
+class WriteOnceUnit:
+    def __init__(self, name):
+        self._pages = {}
+        self._epoch = 0
+
+    def _check_epoch(self, epoch):
+        if epoch < self._epoch:
+            raise RuntimeError("sealed")
+
+    def write(self, address, data, epoch):
+        self._check_epoch(epoch)
+        if address in self._pages:
+            raise RuntimeError("written")
+        self._pages[address] = data
+
+    def trim(self, address, epoch):
+        self._check_epoch(epoch)
+        self._pages.pop(address, None)
+
+    def read(self, address, epoch):
+        self._check_epoch(epoch)
+        return self._pages[address]

@@ -1,0 +1,21 @@
+"""TL006 bad: retry loops that blind-catch protocol errors."""
+
+
+def append_forever(client, payload):
+    while True:
+        try:
+            return client.append(payload)
+        except Exception:
+            # SealedError never reaches the reconfiguration logic: the
+            # client spins against a dead configuration forever.
+            continue
+
+
+def read_all(client, tail):
+    out = []
+    for offset in range(tail):
+        try:
+            out.append(client.read(offset))
+        except:  # noqa: E722
+            pass
+    return out

@@ -1,0 +1,28 @@
+"""TL006 good: retry loops react to the specific protocol errors."""
+
+
+class WrittenError(Exception):
+    pass
+
+
+class SealedError(Exception):
+    pass
+
+
+def append_with_retry(client, payload):
+    while True:
+        try:
+            return client.append(payload)
+        except WrittenError:
+            continue  # lost the race: retry with a fresh offset
+        except SealedError:
+            client.refresh_projection()  # reconfigured: catch up
+
+
+def guarded(client):
+    try:
+        return client.check()
+    except Exception:
+        # Broad catch outside a retry loop that re-raises is fine.
+        client.log_failure()
+        raise

@@ -1,0 +1,12 @@
+"""TL007 bad: implicit serializers and code-executing decodes."""
+
+import pickle
+from marshal import dumps
+
+
+def encode_entry(record):
+    return pickle.dumps(record)
+
+
+def decode_entry(payload):
+    return eval(payload.decode("utf-8"))  # noqa: S307

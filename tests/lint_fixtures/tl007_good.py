@@ -1,0 +1,16 @@
+"""TL007 good: explicit length-prefixed encoding for log payloads."""
+
+import json
+import struct
+
+_U32 = struct.Struct("<I")
+
+
+def encode_entry(record):
+    body = json.dumps(record).encode("utf-8")
+    return _U32.pack(len(body)) + body
+
+
+def decode_entry(payload):
+    (length,) = _U32.unpack_from(payload, 0)
+    return json.loads(payload[4 : 4 + length].decode("utf-8"))

@@ -1,0 +1,10 @@
+"""TL008 bad: mutable defaults shared across every call and client."""
+
+
+def open_runtime(cluster, hosted_oids=[], options={}):
+    hosted_oids.append(0)
+    return (cluster, hosted_oids, options)
+
+
+def make_batch(records=set(), *, tags=list()):
+    return (records, tags)

@@ -1,0 +1,12 @@
+"""TL008 good: None defaults, constructed per call."""
+
+
+def open_runtime(cluster, hosted_oids=None, options=None):
+    hosted_oids = list(hosted_oids or [])
+    options = dict(options or {})
+    hosted_oids.append(0)
+    return (cluster, hosted_oids, options)
+
+
+def make_batch(records=None, *, tags=()):
+    return (set(records or ()), list(tags))

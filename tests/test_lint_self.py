@@ -1,0 +1,39 @@
+"""Tier-1 self-check: the whole source tree satisfies every tangolint
+rule.
+
+This is the linter's reason to exist — the paper's invariants hold
+machine-checkably across the codebase. A failure here means either a
+protocol violation crept into ``src/repro`` or a rule regressed; both
+block the build. Fix the code, or (for a hand-verified exception) add a
+``# tangolint: disable=TL00X`` with a justifying comment.
+"""
+
+import os
+
+from repro.tools.lint import ALL_RULES, lint_paths, render_text
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+)
+
+
+def test_source_tree_exists():
+    assert os.path.isdir(SRC)
+
+
+def test_full_rule_catalog_is_registered():
+    ids = [rule.rule_id for rule in ALL_RULES]
+    assert ids == sorted(ids)
+    assert ids == [f"TL{n:03d}" for n in range(1, 9)]
+
+
+def test_src_repro_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + render_text(findings)
+
+
+def test_every_rule_documents_itself():
+    for rule in ALL_RULES:
+        assert rule.title, rule.rule_id
+        assert rule.rationale, rule.rule_id
+        assert rule.paper_section, rule.rule_id
