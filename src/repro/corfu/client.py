@@ -7,7 +7,8 @@ appends may carry a set of stream ids, in which case the client obtains
 backpointers from the sequencer and prepends stream headers to the
 payload before running chain replication.
 
-The client owns all retry logic:
+Every node interaction goes through the cluster's transport
+(:mod:`repro.net`), and the client owns all retry logic:
 
 - losing an append race (:class:`~repro.errors.WrittenError` at the
   chain head) fetches a fresh offset and tries again;
@@ -15,12 +16,22 @@ The client owns all retry logic:
   projection from the cluster and retries;
 - a dead node (:class:`~repro.errors.NodeDownError`) triggers
   reconfiguration (ejecting the node or replacing the sequencer) and
-  retries against the new projection.
+  retries against the new projection;
+- an RPC timeout (:class:`~repro.errors.RpcTimeout`) backs off,
+  re-checks the projection (a reconfiguration may have raced the lost
+  message), and retries; enough consecutive timeouts against one node
+  and the client treats it as dead and reconfigures around it.
+
+Timeout retries respect each RPC's idempotence: a lost sequencer
+``increment`` response burns an offset, which the hole-filling
+machinery absorbs; a lost chain-write response is retried against the
+*same* offset with the same bytes, and the chain treats the client's
+own earlier (invisible) success as success.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.corfu.cluster import CorfuCluster
 from repro.corfu.entry import LogEntry, make_header, max_payload_bytes
@@ -28,6 +39,8 @@ from repro.corfu.layout import Projection
 from repro.corfu.replication import ChainReplicator
 from repro.errors import (
     NodeDownError,
+    RetriesExhaustedError,
+    RpcTimeout,
     SealedError,
     TooManyStreamsError,
     WrittenError,
@@ -35,18 +48,60 @@ from repro.errors import (
 
 _MAX_RETRIES = 32
 
+#: Consecutive timeouts against one node before the client stops
+#: treating them as transient and drives reconfiguration around it
+#: (the failure-detector threshold).
+_TIMEOUT_FAILOVER = 4
+
 
 class CorfuClient:
     """One client's handle on the shared log."""
 
-    def __init__(self, cluster: CorfuCluster) -> None:
+    def __init__(self, cluster: CorfuCluster, name: Optional[str] = None) -> None:
         self._cluster = cluster
+        self._net = cluster.transport
+        self.name = name if name is not None else cluster.next_client_name()
         self._projection: Projection = cluster.projection
-        self._chain = ChainReplicator(cluster.storage)
+        self._proxies: Dict[Tuple[str, str], object] = {}
+        self._chain = ChainReplicator(self._storage_rpc)
+        # node name -> (consecutive-timeout streak, delivered-RPC count
+        # at the last timeout) for failure detection: only a *silent*
+        # node builds a streak.
+        self._timeout_streaks: Dict[str, Tuple[int, int]] = {}
         # Counters for tests / the performance model.
         self.appends = 0
         self.reads = 0
         self.fills = 0
+
+    # -- transport plumbing --------------------------------------------------
+
+    def _storage_rpc(self, node: str):
+        """This client's transport handle on storage node *node*."""
+        key = ("storage", node)
+        proxy = self._proxies.get(key)
+        if proxy is None:
+            cluster = self._cluster
+            proxy = self._net.proxy(
+                self.name, node, lambda n=node: cluster.storage(n)
+            )
+            self._proxies[key] = proxy
+        return proxy
+
+    def _sequencer_rpc(self, node: str):
+        """This client's transport handle on sequencer *node*."""
+        key = ("sequencer", node)
+        proxy = self._proxies.get(key)
+        if proxy is None:
+            cluster = self._cluster
+            proxy = self._net.proxy(
+                self.name, node, lambda n=node: cluster.sequencer(n)
+            )
+            self._proxies[key] = proxy
+        return proxy
+
+    def net_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-endpoint transport counters (rpcs/retries/timeouts/...)."""
+        return self._net.endpoint_stats()
 
     # -- projection management ----------------------------------------------
 
@@ -79,10 +134,45 @@ class CorfuClient:
         self.refresh_projection()
         proj = self._projection
         if exc.node == proj.sequencer:
-            reconfig.replace_sequencer(self._cluster)
+            reconfig.replace_sequencer(self._cluster, source=self.name)
         elif exc.node in proj.all_nodes():
-            reconfig.eject_storage_node(self._cluster, exc.node)
+            reconfig.eject_storage_node(self._cluster, exc.node, source=self.name)
         self.refresh_projection()
+
+    def _handle_timeout(self, exc: RpcTimeout, attempt: int) -> None:
+        """Epoch-safe timeout reaction: backoff, refresh, maybe fail over.
+
+        A timeout is ambiguous — the node may be slow, partitioned from
+        us, or dead, and a reconfiguration may have completed while our
+        message was in flight. So: record the retry, let the transport
+        advance (delayed traffic gets delivered during backoff), refetch
+        the projection, and once the per-node streak crosses the
+        failure-detector threshold, treat the node as down and
+        reconfigure around it.
+        """
+        self._net.record_retry(exc.node)
+        self._net.backoff(self.name, attempt)
+        self.refresh_projection()
+        # A node that executed *anything* since our last timeout against
+        # it is alive — we are losing responses, not talking to a corpse
+        # — so the streak restarts. Only a silent node (partitioned or
+        # dead: no deliveries at all) accumulates toward failover;
+        # ejecting a node that is demonstrably executing calls would let
+        # a lossy network shrink healthy chains one retry at a time.
+        delivered = self._net.stats_for(exc.node).rpcs
+        streak, seen = self._timeout_streaks.get(exc.node, (0, -1))
+        if delivered != seen:
+            streak = 0
+        streak += 1
+        self._timeout_streaks[exc.node] = (streak, delivered)
+        if streak >= _TIMEOUT_FAILOVER:
+            del self._timeout_streaks[exc.node]
+            self._handle_node_down(NodeDownError(exc.node))
+
+    def _note_success(self) -> None:
+        """An RPC round completed: clear the failure-detector streaks."""
+        if self._timeout_streaks:
+            self._timeout_streaks.clear()
 
     # -- append path ---------------------------------------------------------
 
@@ -103,20 +193,28 @@ class CorfuClient:
                 f"payload of {len(payload)} bytes exceeds the "
                 f"{limit}-byte capacity of a {self._cluster.entry_size}-byte entry"
             )
-        for _ in range(_MAX_RETRIES):
+        for attempt in range(_MAX_RETRIES):
             try:
-                return self._append_once(payload, stream_ids)
+                offset = self._append_once(payload, stream_ids)
             except WrittenError:
                 continue  # lost the race; take a new offset
             except SealedError:
                 self.refresh_projection()
             except NodeDownError as exc:
                 self._handle_node_down(exc)
-        raise WrittenError(-1)
+            except RpcTimeout as exc:
+                # The increment may have executed (lost response): that
+                # offset is burned and becomes a hole for fill() to
+                # patch. Retrying with a fresh offset is always safe.
+                self._handle_timeout(exc, attempt)
+            else:
+                self._note_success()
+                return offset
+        raise RetriesExhaustedError("append", _MAX_RETRIES)
 
     def _append_once(self, payload: bytes, stream_ids: Sequence[int]) -> int:
         proj = self._projection
-        seq = self._cluster.sequencer(proj.sequencer)
+        seq = self._sequencer_rpc(proj.sequencer)
         offset, backpointers = seq.increment(stream_ids, epoch=proj.epoch)
         headers = tuple(
             make_header(sid, backpointers[sid], offset, self._cluster.k)
@@ -124,10 +222,40 @@ class CorfuClient:
         )
         entry = LogEntry(headers=headers, payload=payload)
         raw = entry.encode(offset, self._cluster.k, self._cluster.max_streams)
-        rset, address = proj.map_offset(offset)
-        self._chain.write(rset, address, raw, proj.epoch)
+        self._complete_write(offset, raw)
         self.appends += 1
         return offset
+
+    def _complete_write(self, offset: int, raw: bytes) -> None:
+        """Drive the chain write for an offset this client owns.
+
+        Once the head write may have landed (any failed attempt), the
+        offset must not be abandoned on a timeout — the invisible
+        earlier success would otherwise surface as a duplicate entry
+        when the client appends the payload again elsewhere. Retries
+        therefore target the *same* offset with the same bytes and tell
+        the chain that a head ``WrittenError`` over identical bytes is
+        our own write (``maybe_mine``). A genuine race loss (different
+        bytes at the head) propagates ``WrittenError`` to ``append``,
+        which takes a fresh offset.
+        """
+        for attempt in range(_MAX_RETRIES):
+            proj = self._projection
+            rset, address = proj.map_offset(offset)
+            try:
+                self._chain.write(
+                    rset, address, raw, proj.epoch, maybe_mine=attempt > 0
+                )
+                return
+            except SealedError:
+                # Reconfigured mid-write: finish the chain under the
+                # new projection; the offset is still ours.
+                self.refresh_projection()
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+            except RpcTimeout as exc:
+                self._handle_timeout(exc, attempt)
+        raise RetriesExhaustedError("append.chain_write", _MAX_RETRIES)
 
     # -- read path ------------------------------------------------------------
 
@@ -137,7 +265,7 @@ class CorfuClient:
         Raises :class:`UnwrittenError` for holes and
         :class:`TrimmedError` for reclaimed offsets.
         """
-        for _ in range(_MAX_RETRIES):
+        for attempt in range(_MAX_RETRIES):
             proj = self._projection
             rset, address = proj.map_offset(offset)
             try:
@@ -148,22 +276,31 @@ class CorfuClient:
             except NodeDownError as exc:
                 self._handle_node_down(exc)
                 continue
+            except RpcTimeout as exc:
+                self._handle_timeout(exc, attempt)
+                continue
             self.reads += 1
+            self._note_success()
             return LogEntry.decode(raw, offset, self._cluster.k)
-        raise NodeDownError("unreachable: read retries exhausted")
+        raise RetriesExhaustedError("read", _MAX_RETRIES)
 
     def is_written(self, offset: int) -> bool:
         """True if *offset* is owned by some append (even one in flight)."""
-        for _ in range(_MAX_RETRIES):
+        for attempt in range(_MAX_RETRIES):
             proj = self._projection
             rset, address = proj.map_offset(offset)
             try:
-                return self._chain.is_written(rset, address, proj.epoch)
+                written = self._chain.is_written(rset, address, proj.epoch)
             except SealedError:
                 self.refresh_projection()
             except NodeDownError as exc:
                 self._handle_node_down(exc)
-        raise NodeDownError("unreachable: is_written retries exhausted")
+            except RpcTimeout as exc:
+                self._handle_timeout(exc, attempt)
+            else:
+                self._note_success()
+                return written
+        raise RetriesExhaustedError("is_written", _MAX_RETRIES)
 
     # -- check ---------------------------------------------------------------
 
@@ -176,18 +313,22 @@ class CorfuClient:
         (tens of milliseconds), and works with no sequencer at all.
         """
         if fast:
-            for _ in range(_MAX_RETRIES):
+            for attempt in range(_MAX_RETRIES):
                 proj = self._projection
                 try:
-                    tail, _ = self._cluster.sequencer(proj.sequencer).query(
+                    tail, _ = self._sequencer_rpc(proj.sequencer).query(
                         (), epoch=proj.epoch
                     )
-                    return tail
                 except SealedError:
                     self.refresh_projection()
                 except NodeDownError as exc:
                     self._handle_node_down(exc)
-            raise NodeDownError("unreachable: check retries exhausted")
+                except RpcTimeout as exc:
+                    self._handle_timeout(exc, attempt)
+                else:
+                    self._note_success()
+                    return tail
+            raise RetriesExhaustedError("check", _MAX_RETRIES)
         return self._slow_check()
 
     def _slow_check(self) -> int:
@@ -199,7 +340,7 @@ class CorfuClient:
             for node in rset:
                 try:
                     local_tail = max(
-                        local_tail, self._cluster.storage(node).local_tail()
+                        local_tail, self._local_tail_rpc(node)
                     )
                 except NodeDownError:
                     continue
@@ -207,21 +348,40 @@ class CorfuClient:
                 tail = max(tail, proj.global_offset(set_index, local_tail - 1) + 1)
         return tail
 
+    def _local_tail_rpc(self, node: str) -> int:
+        """One node's local tail, with bounded per-node timeout retries.
+
+        A persistently unreachable node is treated as down for the slow
+        check's purposes: its chain peers hold the same local tail.
+        """
+        for attempt in range(_TIMEOUT_FAILOVER):
+            try:
+                return self._storage_rpc(node).local_tail()
+            except RpcTimeout as exc:
+                self._net.record_retry(exc.node)
+                self._net.backoff(self.name, attempt)
+        raise NodeDownError(node)
+
     def query_streams(
         self, stream_ids: Sequence[int]
     ) -> Tuple[int, Dict[int, Tuple[int, ...]]]:
         """Sequencer query: tail + last-K offsets for each stream."""
-        for _ in range(_MAX_RETRIES):
+        for attempt in range(_MAX_RETRIES):
             proj = self._projection
             try:
-                return self._cluster.sequencer(proj.sequencer).query(
+                result = self._sequencer_rpc(proj.sequencer).query(
                     stream_ids, epoch=proj.epoch
                 )
             except SealedError:
                 self.refresh_projection()
             except NodeDownError as exc:
                 self._handle_node_down(exc)
-        raise NodeDownError("unreachable: query retries exhausted")
+            except RpcTimeout as exc:
+                self._handle_timeout(exc, attempt)
+            else:
+                self._note_success()
+                return result
+        raise RetriesExhaustedError("query_streams", _MAX_RETRIES)
 
     # -- hole filling and reclamation -----------------------------------------
 
@@ -231,36 +391,77 @@ class CorfuClient:
         Used after a timeout when a crashed client reserved an offset but
         never wrote it (section 3.2, "Failure Handling"). If the original
         writer races us and wins, that is success too: the hole is gone.
+        A duplicated or timed-out fill is likewise absorbed — junk bytes
+        are identical no matter who writes them.
         """
         junk = LogEntry.junk().encode(offset, self._cluster.k, self._cluster.max_streams)
-        for _ in range(_MAX_RETRIES):
+        for attempt in range(_MAX_RETRIES):
             proj = self._projection
             rset, address = proj.map_offset(offset)
             try:
                 self._chain.write(rset, address, junk, proj.epoch)
                 self.fills += 1
+                self._note_success()
                 return
             except WrittenError:
+                self._note_success()
                 return  # no longer a hole — either filled or completed
             except SealedError:
                 self.refresh_projection()
             except NodeDownError as exc:
                 self._handle_node_down(exc)
-        raise NodeDownError("unreachable: fill retries exhausted")
+            except RpcTimeout as exc:
+                self._handle_timeout(exc, attempt)
+        raise RetriesExhaustedError("fill", _MAX_RETRIES)
 
     def trim(self, offset: int) -> None:
-        """Mark one offset as reclaimable."""
-        proj = self._projection
-        rset, address = proj.map_offset(offset)
-        self._chain.trim(rset, address, proj.epoch)
+        """Mark one offset as reclaimable.
+
+        Trim is idempotent on every replica, so the standard retry path
+        (sealed epoch → refresh; dead node → reconfigure; timeout →
+        backoff and retry) applies without any at-most-once caveats. A
+        trim racing a reconfiguration must not leak ``SealedError`` to
+        the application — the GC driving it has no projection to refresh.
+        """
+        for attempt in range(_MAX_RETRIES):
+            proj = self._projection
+            rset, address = proj.map_offset(offset)
+            try:
+                self._chain.trim(rset, address, proj.epoch)
+            except SealedError:
+                self.refresh_projection()
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+            except RpcTimeout as exc:
+                self._handle_timeout(exc, attempt)
+            else:
+                self._note_success()
+                return
+        raise RetriesExhaustedError("trim", _MAX_RETRIES)
 
     def trim_prefix(self, offset: int) -> None:
-        """Reclaim every offset strictly below *offset* (sequential trim)."""
-        proj = self._projection
-        n = len(proj.replica_sets)
-        for set_index, rset in enumerate(proj.replica_sets):
-            if offset > set_index:
-                local_count = (offset - set_index + n - 1) // n
+        """Reclaim every offset strictly below *offset* (sequential trim).
+
+        Idempotent per replica set; a retry after a partial pass simply
+        re-trims already-trimmed prefixes.
+        """
+        for attempt in range(_MAX_RETRIES):
+            proj = self._projection
+            n = len(proj.replica_sets)
+            try:
+                for set_index, rset in enumerate(proj.replica_sets):
+                    if offset > set_index:
+                        local_count = (offset - set_index + n - 1) // n
+                    else:
+                        local_count = 0
+                    self._chain.trim_prefix(rset, local_count, proj.epoch)
+            except SealedError:
+                self.refresh_projection()
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+            except RpcTimeout as exc:
+                self._handle_timeout(exc, attempt)
             else:
-                local_count = 0
-            self._chain.trim_prefix(rset, local_count, proj.epoch)
+                self._note_success()
+                return
+        raise RetriesExhaustedError("trim_prefix", _MAX_RETRIES)

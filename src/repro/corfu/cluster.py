@@ -22,6 +22,7 @@ from repro.corfu.layout import Projection, build_projection
 from repro.corfu.sequencer import Sequencer
 from repro.corfu.storage import FlashUnit
 from repro.errors import NodeDownError
+from repro.net import LoopbackTransport, Transport
 
 
 class CorfuCluster:
@@ -37,6 +38,10 @@ class CorfuCluster:
             objects one transaction may write (section 4.1).
         projection: custom initial projection (overrides num_sets /
             replication_factor).
+        transport: the client↔node message boundary. Defaults to a
+            :class:`~repro.net.LoopbackTransport` (direct calls); pass
+            a :class:`~repro.net.FaultyTransport` to inject network
+            faults.
     """
 
     def __init__(
@@ -47,14 +52,17 @@ class CorfuCluster:
         entry_size: int = DEFAULT_ENTRY_SIZE,
         max_streams: int = 16,
         projection: Optional[Projection] = None,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.k = k
         self.entry_size = entry_size
         self.max_streams = max_streams
+        self.transport = transport if transport is not None else LoopbackTransport()
         if projection is None:
             projection = build_projection(num_sets, replication_factor)
         self._projection = projection
         self._lock = threading.Lock()
+        self._client_ids = iter(range(1, 1 << 31))
         self._units: Dict[str, FlashUnit] = {
             name: FlashUnit(name) for name in projection.all_nodes()
         }
@@ -97,11 +105,21 @@ class CorfuCluster:
             self._sequencers[name] = seq
         return seq
 
-    def client(self) -> "CorfuClient":
-        """Create a new client library instance bound to this cluster."""
+    def client(self, name: Optional[str] = None) -> "CorfuClient":
+        """Create a new client library instance bound to this cluster.
+
+        Each client is a distinct transport endpoint (so partitions can
+        isolate individual clients); *name* overrides the generated
+        endpoint name.
+        """
         from repro.corfu.client import CorfuClient
 
-        return CorfuClient(self)
+        return CorfuClient(self, name=name)
+
+    def next_client_name(self) -> str:
+        """Mint a unique transport endpoint name for a new client."""
+        with self._lock:
+            return f"client-{next(self._client_ids)}"
 
     # -- fault injection ----------------------------------------------------
 

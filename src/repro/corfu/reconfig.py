@@ -27,26 +27,66 @@ from repro.corfu.cluster import CorfuCluster
 from repro.corfu.layout import Projection
 from repro.errors import (
     NodeDownError,
+    RpcTimeout,
     SealedError,
     TrimmedError,
     UnwrittenError,
 )
 
+#: Endpoint name used when no driving client is identified (e.g. the
+#: durable-cluster bootstrap). Client-driven reconfiguration passes the
+#: client's own endpoint name, so partitions apply to it faithfully.
+_DEFAULT_SOURCE = "reconfig"
 
-def seal_cluster(cluster: CorfuCluster, old: Projection, new_epoch: int) -> None:
+#: Per-node RPC attempts before reconfiguration gives a node up as
+#: unreachable. Sealing must try hard: an unsealed reachable node could
+#: keep serving stale-epoch requests.
+_RPC_ATTEMPTS = 8
+
+
+def _storage_rpc(cluster: CorfuCluster, source: str, node: str):
+    return cluster.transport.proxy(source, node, lambda: cluster.storage(node))
+
+
+def _sequencer_rpc(cluster: CorfuCluster, source: str, node: str):
+    return cluster.transport.proxy(source, node, lambda: cluster.sequencer(node))
+
+
+def _seal_one(cluster: CorfuCluster, source: str, proxy, new_epoch: int) -> None:
+    """Seal one node, retrying through timeouts; unreachable nodes pass.
+
+    A node we cannot reach after the retry budget is treated exactly
+    like a dead one: it cannot serve this partition's clients either
+    way, and if it is alive-but-partitioned its chain peers are sealed,
+    so any stale-epoch chain operation still fails to complete.
+    """
+    for attempt in range(_RPC_ATTEMPTS):
+        try:
+            proxy.seal(new_epoch)
+            return
+        except (NodeDownError, SealedError):
+            return  # dead nodes can't serve stale requests anyway
+        except RpcTimeout:
+            cluster.transport.backoff(source, attempt)
+
+
+def seal_cluster(
+    cluster: CorfuCluster,
+    old: Projection,
+    new_epoch: int,
+    source: str = _DEFAULT_SOURCE,
+) -> None:
     """Seal every reachable node (storage + sequencer) of *old* at *new_epoch*."""
     for name in old.all_nodes():
-        try:
-            cluster.storage(name).seal(new_epoch)
-        except (NodeDownError, SealedError):
-            continue  # dead nodes can't serve stale requests anyway
-    try:
-        cluster.sequencer(old.sequencer).seal(new_epoch)
-    except (NodeDownError, SealedError):
-        pass
+        _seal_one(cluster, source, _storage_rpc(cluster, source, name), new_epoch)
+    _seal_one(
+        cluster, source, _sequencer_rpc(cluster, source, old.sequencer), new_epoch
+    )
 
 
-def eject_storage_node(cluster: CorfuCluster, node: str) -> Projection:
+def eject_storage_node(
+    cluster: CorfuCluster, node: str, source: str = _DEFAULT_SOURCE
+) -> Projection:
     """Remove a failed storage node from its chain; returns the new projection.
 
     Idempotent under races: if another client already ejected the node,
@@ -56,8 +96,15 @@ def eject_storage_node(cluster: CorfuCluster, node: str) -> Projection:
     old = cluster.projection
     if node not in old.all_nodes():
         return old  # already ejected by someone else
+    chain = next(rs for rs in old.replica_sets if node in rs.nodes)
+    if len(chain.nodes) <= 1:
+        # The last replica of a chain holds the only copy of its pages;
+        # ejecting it would lose data. A trigger-happy failure detector
+        # (e.g. a lossy network) must get the old projection back and
+        # keep retrying against the suspect node instead.
+        return old
     new = old.with_node_ejected(node)
-    seal_cluster(cluster, old, new.epoch)
+    seal_cluster(cluster, old, new.epoch, source=source)
     try:
         cluster.install_projection(new)
     except ValueError:
@@ -65,20 +112,29 @@ def eject_storage_node(cluster: CorfuCluster, node: str) -> Projection:
     return new
 
 
-def slow_check_tail(cluster: CorfuCluster, projection: Projection) -> int:
+def slow_check_tail(
+    cluster: CorfuCluster, projection: Projection, source: str = _DEFAULT_SOURCE
+) -> int:
     """Recover the global tail from storage-node local tails.
 
     This is the slow check of section 2.2: query each replica set for
     its highest written local address and invert the mapping function.
+    Persistently unreachable nodes are skipped — their chain peers hold
+    the same tail.
     """
     tail = 0
     for set_index, rset in enumerate(projection.replica_sets):
         local_tail = 0
         for node in rset:
-            try:
-                local_tail = max(local_tail, cluster.storage(node).local_tail())
-            except NodeDownError:
-                continue
+            proxy = _storage_rpc(cluster, source, node)
+            for attempt in range(_RPC_ATTEMPTS):
+                try:
+                    local_tail = max(local_tail, proxy.local_tail())
+                    break
+                except NodeDownError:
+                    break
+                except RpcTimeout:
+                    cluster.transport.backoff(source, attempt)
         if local_tail > 0:
             tail = max(
                 tail, projection.global_offset(set_index, local_tail - 1) + 1
@@ -92,6 +148,7 @@ def rebuild_stream_tails(
     tail: int,
     k: int,
     epoch: int,
+    source: str = _DEFAULT_SOURCE,
 ) -> Dict[int, List[int]]:
     """Reconstruct the sequencer's per-stream last-K map by backward scan.
 
@@ -113,7 +170,7 @@ def rebuild_stream_tails(
     stream_tails: Dict[int, List[int]] = {}
     for offset in range(tail - 1, -1, -1):
         rset, address = projection.map_offset(offset)
-        raw = _read_any_replica(cluster, rset, address, epoch)
+        raw = _read_any_replica(cluster, rset, address, epoch, source)
         if raw is None:
             continue
         entry = LogEntry.decode(raw, offset, k)
@@ -162,6 +219,10 @@ def checkpoint_sequencer_state(cluster: CorfuCluster) -> int:
     from repro.corfu.replication import ChainReplicator
 
     proj = cluster.projection
+    # The increment and the snapshot read are sequencer-local (the
+    # sequencer checkpoints its own soft state); only the chain write
+    # that persists the snapshot crosses the network, with the
+    # sequencer itself as the writing endpoint.
     seq = cluster.sequencer(proj.sequencer)
     offset, backpointers = seq.increment(
         (SEQUENCER_CHECKPOINT_STREAM,), epoch=proj.epoch
@@ -180,11 +241,16 @@ def checkpoint_sequencer_state(cluster: CorfuCluster) -> int:
     entry = LogEntry(headers=(header,), payload=payload)
     raw = entry.encode(offset, cluster.k, cluster.max_streams)
     rset, address = proj.map_offset(offset)
-    ChainReplicator(cluster.storage).write(rset, address, raw, proj.epoch)
+    chain = ChainReplicator(
+        lambda node: _storage_rpc(cluster, proj.sequencer, node)
+    )
+    chain.write(rset, address, raw, proj.epoch)
     return offset
 
 
-def _read_any_replica(cluster, rset, address: int, epoch: int):
+def _read_any_replica(
+    cluster, rset, address: int, epoch: int, source: str = _DEFAULT_SOURCE
+):
     """Read one page from any surviving replica, tail first.
 
     Recovery must tolerate replicas that crashed without having been
@@ -193,22 +259,30 @@ def _read_any_replica(cluster, rset, address: int, epoch: int):
     in-flight (head-only) write — acceptable here, since the winner of
     that offset will complete the chain, and advisory backpointer state
     may safely reference it. Returns None for holes, trimmed pages, or
-    fully unreachable chains (the scan skips the offset).
+    fully unreachable chains (the scan skips the offset). Timeouts are
+    retried per replica before that replica is given up as unreachable
+    — a dropped recovery read must not silently shrink stream state.
     """
     for node in reversed(rset.nodes):
-        try:
-            return cluster.storage(node).read(address, epoch)
-        except TrimmedError:
-            return None
-        except (UnwrittenError, NodeDownError):
-            # A tail-unwritten page may still be an in-flight write held
-            # at an upstream replica; keep walking towards the head.
-            continue
+        proxy = _storage_rpc(cluster, source, node)
+        for attempt in range(_RPC_ATTEMPTS):
+            try:
+                return proxy.read(address, epoch)
+            except TrimmedError:
+                return None
+            except (UnwrittenError, NodeDownError):
+                # A tail-unwritten page may still be an in-flight write
+                # held at an upstream replica; walk towards the head.
+                break
+            except RpcTimeout:
+                cluster.transport.backoff(source, attempt)
     return None
 
 
 def replace_sequencer(
-    cluster: CorfuCluster, new_name: Optional[str] = None
+    cluster: CorfuCluster,
+    new_name: Optional[str] = None,
+    source: str = _DEFAULT_SOURCE,
 ) -> Projection:
     """Fail over to a new sequencer, recovering its soft state.
 
@@ -220,11 +294,24 @@ def replace_sequencer(
     if new_name is None:
         new_name = f"seq-{old.epoch + 1}"
     new = old.with_sequencer(new_name)
-    seal_cluster(cluster, old, new.epoch)
-    tail = slow_check_tail(cluster, new)
-    stream_tails = rebuild_stream_tails(cluster, new, tail, cluster.k, new.epoch)
-    replacement = cluster.sequencer(new_name)
-    replacement.bootstrap(tail, stream_tails, new.epoch)
+    seal_cluster(cluster, old, new.epoch, source=source)
+    tail = slow_check_tail(cluster, new, source=source)
+    stream_tails = rebuild_stream_tails(
+        cluster, new, tail, cluster.k, new.epoch, source=source
+    )
+    replacement = _sequencer_rpc(cluster, source, new_name)
+    for attempt in range(_RPC_ATTEMPTS):
+        try:
+            replacement.bootstrap(tail, stream_tails, new.epoch)
+            break
+        except SealedError:
+            # A racing reconfiguration moved past us; its projection
+            # already carries recovered state.
+            return cluster.projection
+        except RpcTimeout as exc:
+            cluster.transport.backoff(source, attempt)
+            if attempt == _RPC_ATTEMPTS - 1:
+                raise NodeDownError(exc.node)
     try:
         cluster.install_projection(new)
     except ValueError:

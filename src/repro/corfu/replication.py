@@ -28,9 +28,10 @@ from typing import Callable
 
 from repro.corfu.layout import ReplicaSet
 from repro.corfu.storage import FlashUnit
-from repro.errors import UnwrittenError, WrittenError
+from repro.errors import TrimmedError, UnwrittenError, WrittenError
 
-# Resolves a storage node name to its FlashUnit.
+# Resolves a storage node name to its FlashUnit (or a transport proxy
+# for one — the replicator is agnostic; it calls the same methods).
 UnitLookup = Callable[[str], FlashUnit]
 
 
@@ -40,12 +41,29 @@ class ChainReplicator:
     def __init__(self, lookup: UnitLookup) -> None:
         self._lookup = lookup
 
-    def write(self, rset: ReplicaSet, address: int, data: bytes, epoch: int) -> None:
+    def write(
+        self,
+        rset: ReplicaSet,
+        address: int,
+        data: bytes,
+        epoch: int,
+        maybe_mine: bool = False,
+    ) -> None:
         """Write *data* at *address* down the chain.
 
         Raises :class:`WrittenError` if another client won the race at
         the head. Propagates :class:`~repro.errors.NodeDownError` /
-        :class:`~repro.errors.SealedError` so the caller can reconfigure.
+        :class:`~repro.errors.SealedError` /
+        :class:`~repro.errors.RpcTimeout` so the caller can reconfigure
+        or retry.
+
+        With *maybe_mine* (set by a client retrying after an ambiguous
+        failure: a lost response or a mid-chain error on an earlier
+        attempt of this same write), a head ``WrittenError`` over bytes
+        identical to *data* is treated as the client's own earlier
+        delivery having landed: the chain is completed and the write
+        reports success instead of a lost race. This is what keeps
+        at-least-once delivery of chain writes exactly-once in the log.
         """
         for i, node in enumerate(rset):
             unit = self._lookup(node)
@@ -53,6 +71,10 @@ class ChainReplicator:
                 unit.write(address, data, epoch)
             except WrittenError:
                 if i == 0:
+                    if maybe_mine and self._holds(unit, address, data, epoch):
+                        # Our own earlier (timed-out) delivery won the
+                        # offset; keep completing the chain.
+                        continue
                     # Lost the race at the head: the offset belongs to
                     # someone else.
                     raise
@@ -63,6 +85,14 @@ class ChainReplicator:
                         f"chain divergence at {node}:{address}: replica "
                         f"holds different data than the head winner wrote"
                     )
+
+    @staticmethod
+    def _holds(unit: FlashUnit, address: int, data: bytes, epoch: int) -> bool:
+        """True if *unit* already holds exactly *data* at *address*."""
+        try:
+            return unit.read(address, epoch) == data
+        except (UnwrittenError, TrimmedError):
+            return False
 
     def read(self, rset: ReplicaSet, address: int, epoch: int) -> bytes:
         """Read *address* from the tail, repairing in-flight writes.

@@ -43,10 +43,16 @@ class Sequencer:
     # -- lifecycle ----------------------------------------------------------
 
     def crash(self) -> None:
-        """Fail the sequencer; its soft state is lost."""
-        self._down = True
-        self._tail = 0
-        self._stream_tails = {}
+        """Fail the sequencer; its soft state is lost.
+
+        Taken under the lock so an in-flight ``increment``/``query``
+        from another thread observes either the live state or the
+        crash, never a half-cleared tail/backpointer map.
+        """
+        with self._lock:
+            self._down = True
+            self._tail = 0
+            self._stream_tails = {}
 
     @property
     def is_down(self) -> bool:
@@ -63,12 +69,18 @@ class Sequencer:
             raise SealedError(self._epoch)
 
     def seal(self, epoch: int) -> None:
-        """Fence requests below *epoch* (reconfiguration support)."""
-        if self._down:
-            raise NodeDownError(self.name)
-        if epoch <= self._epoch:
-            raise SealedError(self._epoch)
-        self._epoch = epoch
+        """Fence requests below *epoch* (reconfiguration support).
+
+        Serialized against ``increment``/``query`` via the lock: once
+        seal returns, no concurrently running request can complete at
+        the old epoch (that is the whole point of sealing).
+        """
+        with self._lock:
+            if self._down:
+                raise NodeDownError(self.name)
+            if epoch <= self._epoch:
+                raise SealedError(self._epoch)
+            self._epoch = epoch
 
     def bootstrap(self, tail: int, stream_tails: Dict[int, List[int]], epoch: int) -> None:
         """Install recovered state into a fresh sequencer instance.
@@ -79,14 +91,16 @@ class Sequencer:
         under an old projection must never overwrite a sequencer that
         has already been sealed into a newer one.
         """
-        if epoch < self._epoch:
-            raise SealedError(self._epoch)
-        self._down = False
-        self._epoch = epoch
-        self._tail = tail
-        self._stream_tails = {
-            sid: list(offsets[: self.k]) for sid, offsets in stream_tails.items()
-        }
+        with self._lock:
+            if epoch < self._epoch:
+                raise SealedError(self._epoch)
+            self._down = False
+            self._epoch = epoch
+            self._tail = tail
+            self._stream_tails = {
+                sid: list(offsets[: self.k])
+                for sid, offsets in stream_tails.items()
+            }
 
     # -- the counter --------------------------------------------------------
 
@@ -139,7 +153,8 @@ class Sequencer:
 
     def stream_state_bytes(self) -> int:
         """Approximate soft-state footprint: K 8-byte offsets per stream."""
-        return len(self._stream_tails) * self.k * 8
+        with self._lock:
+            return len(self._stream_tails) * self.k * 8
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "down" if self._down else f"tail={self._tail} epoch={self._epoch}"

@@ -82,6 +82,44 @@ class NodeDownError(CorfuError):
         self.node = node
 
 
+class RpcTimeout(CorfuError, TimeoutError):
+    """An RPC to a node produced no response within the timeout.
+
+    Raised by the transport layer (:mod:`repro.net`) when a request or
+    its response is dropped, delayed past the deadline, or blocked by a
+    network partition. A timeout is *ambiguous*: the server may or may
+    not have executed the call, so only idempotent (or
+    idempotence-compensated) operations may be blindly retried. See
+    the idempotence table in ``docs/PROTOCOLS.md``.
+    """
+
+    def __init__(self, node: str, op: str = "") -> None:
+        what = f"rpc {op} to {node}" if op else f"rpc to {node}"
+        super().__init__(f"{what} timed out")
+        self.node = node
+        self.op = op
+
+
+class RetriesExhaustedError(CorfuError):
+    """A client operation gave up after its bounded retry budget.
+
+    The client protocol retries through append races, sealed epochs,
+    dead nodes, and RPC timeouts; if the budget runs out the cluster is
+    effectively unreachable from this client. Carries the operation
+    name and the last error observed so operators can tell a partition
+    from a reconfiguration storm.
+    """
+
+    def __init__(self, op: str, attempts: int, last: str = "") -> None:
+        detail = f" (last error: {last})" if last else ""
+        super().__init__(
+            f"{op}: retries exhausted after {attempts} attempts{detail}"
+        )
+        self.op = op
+        self.attempts = attempts
+        self.last = last
+
+
 class OutOfSpaceError(CorfuError):
     """The shared log's address space mapping has been exhausted."""
 

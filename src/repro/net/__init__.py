@@ -1,0 +1,35 @@
+"""repro.net: the transport boundary between clients and cluster nodes.
+
+The paper's client owns *all* retry logic (§2.2: append races, sealed
+epochs, dead nodes), which only matters if there is a real message
+boundary for things to go wrong on. This package provides that
+boundary: every client↔node interaction (sequencer increment / query /
+seal, storage read / write / trim / seal via chain replication) is an
+RPC mediated by a :class:`Transport`.
+
+Two transports ship:
+
+- :class:`LoopbackTransport` (the default) delivers every RPC as a
+  direct in-process method call — today's semantics, with per-endpoint
+  counters but no faults.
+- :class:`FaultyTransport` is a seedable fault injector: latency,
+  request/response drops (surfacing as :class:`~repro.errors.RpcTimeout`),
+  duplicate delivery, reordering via delayed delivery, and node-pair
+  partitions. It is what the network-chaos tests drive.
+"""
+
+from repro.net.transport import (
+    EndpointStats,
+    LoopbackTransport,
+    RpcProxy,
+    Transport,
+)
+from repro.net.faulty import FaultyTransport
+
+__all__ = [
+    "EndpointStats",
+    "FaultyTransport",
+    "LoopbackTransport",
+    "RpcProxy",
+    "Transport",
+]

@@ -1,0 +1,228 @@
+"""A seedable fault-injecting transport.
+
+Models the failure modes of a real RPC fabric over the in-process
+deployment, deterministically (one ``random.Random(seed)`` drives every
+draw, and "time" is a logical clock that ticks once per delivery
+attempt, so a given seed and call sequence always produces the same
+fault schedule):
+
+- **request drop** — the call never reaches the node; the caller gets
+  :class:`~repro.errors.RpcTimeout` and the server state is untouched.
+- **response drop** — the node *executes* the call but the reply is
+  lost; the caller gets ``RpcTimeout`` and must reason about the
+  ambiguity (this is what burns sequencer offsets and duplicates chain
+  writes).
+- **duplicate delivery** — at-least-once delivery executes the call a
+  second time; the second outcome is discarded (its errors included),
+  exactly like a retransmitted datagram hitting an idempotence check.
+- **reordering** — the request is delayed past the caller's timeout and
+  delivered on a later tick, potentially *after* younger requests; a
+  stale-epoch delayed delivery is rejected by the seal check, which is
+  precisely why the seal exists.
+- **partitions** — a named endpoint pair (client↔node, or node↔node)
+  is unreachable until healed; every call times out immediately.
+
+Latency is simulated, not slept: each delivery accrues a sampled
+delay onto :attr:`FaultyTransport.simulated_latency_ms` so tests and
+the performance model can read it without slowing the suite down.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import ReproError, RpcTimeout
+from repro.net.transport import Transport
+
+#: Rate knobs accepted by ``__init__`` and ``set_rates``.
+_RATE_KNOBS = ("drop_request", "drop_response", "duplicate", "reorder")
+
+
+class FaultyTransport(Transport):
+    """Deterministic, seedable network fault injection.
+
+    Args:
+        seed: seeds the single RNG behind every fault draw.
+        drop_request: probability a request is lost before delivery.
+        drop_response: probability a response is lost after execution.
+        duplicate: probability a delivered call is executed twice.
+        reorder: probability a request is deferred to a later tick.
+        max_delay: maximum deferral, in logical-clock ticks.
+        latency_ms: upper bound of the simulated per-call latency sample.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_request: float = 0.0,
+        drop_response: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        max_delay: int = 6,
+        latency_ms: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+        self.drop_request = drop_request
+        self.drop_response = drop_response
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.max_delay = max(1, max_delay)
+        self.latency_ms = latency_ms
+        self.simulated_latency_ms = 0.0
+        self.backoffs = 0
+        self._clock = 0
+        self._defer_seq = 0
+        # (due_tick, sequence, target, thunk): delayed in-flight requests.
+        self._deferred: List[Tuple[int, int, str, Callable[[], None]]] = []
+        self._partitions: Set[FrozenSet[str]] = set()
+        self._lock = threading.RLock()
+
+    # -- fault configuration -------------------------------------------------
+
+    def set_rates(self, **rates: float) -> None:
+        """Adjust fault probabilities mid-run (unknown knobs rejected)."""
+        for name, value in rates.items():
+            if name not in _RATE_KNOBS:
+                raise ValueError(f"unknown fault knob {name!r}")
+            setattr(self, name, value)
+
+    def partition(self, a: str, b: str) -> None:
+        """Make the endpoint pair *a*↔*b* unreachable until healed."""
+        with self._lock:
+            self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: Optional[str] = None, b: Optional[str] = None) -> None:
+        """Heal one partition (both names given) or every partition."""
+        with self._lock:
+            if a is None and b is None:
+                self._partitions.clear()
+            elif a is not None and b is not None:
+                self._partitions.discard(frozenset((a, b)))
+            else:
+                raise ValueError("heal() takes both endpoints or neither")
+
+    def partitioned(self, a: str, b: str) -> bool:
+        with self._lock:
+            return frozenset((a, b)) in self._partitions
+
+    @property
+    def partitions(self) -> Tuple[FrozenSet[str], ...]:
+        with self._lock:
+            return tuple(sorted(self._partitions, key=sorted))
+
+    def calm(self) -> None:
+        """Disable every fault: zero rates, heal partitions, flush delays.
+
+        Tests call this before final-state verification so the checks
+        themselves run over a quiet network.
+        """
+        with self._lock:
+            for knob in _RATE_KNOBS:
+                setattr(self, knob, 0.0)
+            self._partitions.clear()
+            self._flush_deferred_locked(everything=True)
+
+    def deliver_delayed(self) -> int:
+        """Deliver every deferred request now; returns how many."""
+        with self._lock:
+            return self._flush_deferred_locked(everything=True)
+
+    # -- delivery ------------------------------------------------------------
+
+    def call(
+        self,
+        source: str,
+        target: str,
+        op: str,
+        resolve: Callable[[], object],
+        args: tuple,
+        kwargs: dict,
+    ):
+        with self._lock:
+            self._clock += 1
+            self._flush_deferred_locked()
+            stats = self.stats_for(target)
+            if self.latency_ms:
+                self.simulated_latency_ms += self._rng.uniform(0, self.latency_ms)
+            if frozenset((source, target)) in self._partitions:
+                stats.timeouts += 1
+                raise RpcTimeout(target, op)
+            if self.drop_request and self._rng.random() < self.drop_request:
+                stats.drops += 1
+                stats.timeouts += 1
+                raise RpcTimeout(target, op)
+            if self.reorder and self._rng.random() < self.reorder:
+                self._defer_locked(target, op, resolve, args, kwargs)
+                stats.timeouts += 1
+                raise RpcTimeout(target, op)
+            stats.rpcs += 1
+            result = getattr(resolve(), op)(*args, **kwargs)
+            # Post-execution faults apply only to calls the server
+            # completed: a duplicate of a rejected request is a no-op,
+            # and there is no response to lose.
+            if self.duplicate and self._rng.random() < self.duplicate:
+                stats.duplicates += 1
+                stats.rpcs += 1
+                try:
+                    getattr(resolve(), op)(*args, **kwargs)
+                except ReproError:
+                    # The retransmission bounced off an idempotence
+                    # check (WrittenError, SealedError, ...) — exactly
+                    # what those checks are for. The original response
+                    # is the one the caller sees.
+                    pass
+            if self.drop_response and self._rng.random() < self.drop_response:
+                stats.drops += 1
+                stats.timeouts += 1
+                raise RpcTimeout(target, op)
+            return result
+
+    def backoff(self, source: str, attempt: int) -> None:
+        """Retry backoff: advance logical time so delayed traffic lands."""
+        with self._lock:
+            self.backoffs += 1
+            self._clock += 1
+            self._flush_deferred_locked()
+
+    # -- deferred (reordered) traffic ---------------------------------------
+
+    def _defer_locked(
+        self,
+        target: str,
+        op: str,
+        resolve: Callable[[], object],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        due = self._clock + self._rng.randint(1, self.max_delay)
+        self._defer_seq += 1
+        self.stats_for(target).reordered += 1
+
+        def deliver() -> None:
+            try:
+                getattr(resolve(), op)(*args, **kwargs)
+            except ReproError:
+                # Late delivery bounced (sealed epoch, already-written
+                # offset, node down). Nobody is waiting for the answer.
+                return
+
+        self._deferred.append((due, self._defer_seq, target, deliver))
+
+    def _flush_deferred_locked(self, everything: bool = False) -> int:
+        if not self._deferred:
+            return 0
+        ready = [
+            item
+            for item in self._deferred
+            if everything or item[0] <= self._clock
+        ]
+        if not ready:
+            return 0
+        self._deferred = [i for i in self._deferred if i not in ready]
+        for _due, _seq, target, deliver in sorted(ready, key=lambda i: (i[0], i[1])):
+            self.stats_for(target).rpcs += 1
+            deliver()
+        return len(ready)

@@ -1,0 +1,163 @@
+"""Transport base machinery: proxies, per-endpoint stats, loopback.
+
+A transport delivers *calls*: ``call(source, target, op, resolve,
+args, kwargs)`` where *source* names the calling endpoint (a client,
+or the reconfiguration driver acting for one), *target* names the node,
+*op* is the RPC method name, and *resolve* is a zero-argument callable
+returning the live server object (so delivery — not proxy creation —
+observes node liveness, exactly like a real connection attempt).
+
+Clients never hold server objects directly; they hold
+:class:`RpcProxy` handles obtained from the transport. A proxy forwards
+method calls through ``Transport.call`` and passes non-callable
+attributes straight through (local metadata, never an RPC).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+
+class EndpointStats:
+    """Per-node RPC counters, kept by the transport.
+
+    ``rpcs`` counts delivered calls (the server actually executed);
+    ``retries`` counts client-side retry decisions against this node;
+    ``timeouts`` counts :class:`~repro.errors.RpcTimeout` raised to
+    callers; ``duplicates`` counts extra at-least-once deliveries;
+    ``drops`` counts lost requests/responses; ``reordered`` counts
+    deliveries deferred past their issue order.
+    """
+
+    __slots__ = ("rpcs", "retries", "timeouts", "duplicates", "drops", "reordered")
+
+    def __init__(self) -> None:
+        self.rpcs = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.duplicates = 0
+        self.drops = 0
+        self.reordered = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "rpcs": self.rpcs,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "duplicates": self.duplicates,
+            "drops": self.drops,
+            "reordered": self.reordered,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<EndpointStats {self.to_dict()}>"
+
+
+class RpcProxy:
+    """A client's handle on one remote node.
+
+    Method calls go through the transport; non-callable attributes
+    (counters, names) are read directly off the resolved server — they
+    model local bookkeeping, not network traffic.
+    """
+
+    __slots__ = ("_transport", "_source", "_target", "_resolve")
+
+    def __init__(
+        self,
+        transport: "Transport",
+        source: str,
+        target: str,
+        resolve: Callable[[], object],
+    ) -> None:
+        self._transport = transport
+        self._source = source
+        self._target = target
+        self._resolve = resolve
+
+    def __getattr__(self, op: str):
+        attr = getattr(self._resolve(), op)
+        if not callable(attr):
+            return attr
+        transport = self._transport
+        source, target, resolve = self._source, self._target, self._resolve
+
+        def rpc(*args, **kwargs):
+            return transport.call(source, target, op, resolve, args, kwargs)
+
+        rpc.__name__ = op
+        return rpc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RpcProxy {self._source}->{self._target}>"
+
+
+class Transport:
+    """Base class: endpoint stats plus the delivery interface."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, EndpointStats] = {}
+
+    # -- delivery (subclass responsibility) ---------------------------------
+
+    def call(
+        self,
+        source: str,
+        target: str,
+        op: str,
+        resolve: Callable[[], object],
+        args: tuple,
+        kwargs: dict,
+    ):
+        raise NotImplementedError
+
+    def backoff(self, source: str, attempt: int) -> None:
+        """Client-side retry backoff hook. Loopback: nothing to wait for."""
+
+    # -- proxies ------------------------------------------------------------
+
+    def proxy(
+        self, source: str, target: str, resolve: Callable[[], object]
+    ) -> RpcProxy:
+        """A *source*-side handle on node *target*."""
+        return RpcProxy(self, source, target, resolve)
+
+    # -- observability ------------------------------------------------------
+
+    def stats_for(self, target: str) -> EndpointStats:
+        stats = self._stats.get(target)
+        if stats is None:
+            stats = self._stats.setdefault(target, EndpointStats())
+        return stats
+
+    def record_retry(self, target: str) -> None:
+        """Clients report each retry decision so operators can see them."""
+        self.stats_for(target).retries += 1
+
+    def endpoint_stats(self) -> Dict[str, Dict[str, int]]:
+        """Snapshot of per-endpoint counters (fresh dicts, safe to mutate)."""
+        return {
+            target: stats.to_dict()
+            for target, stats in sorted(self._stats.items())
+        }
+
+
+class LoopbackTransport(Transport):
+    """Direct in-process delivery: no faults, no copies, no delay.
+
+    This is the default transport and preserves the pre-``repro.net``
+    semantics exactly: every RPC is one Python method call on the live
+    server object.
+    """
+
+    def call(
+        self,
+        source: str,
+        target: str,
+        op: str,
+        resolve: Callable[[], object],
+        args: tuple,
+        kwargs: dict,
+    ):
+        self.stats_for(target).rpcs += 1
+        return getattr(resolve(), op)(*args, **kwargs)

@@ -82,9 +82,13 @@ class StreamClient:
         self._cache: "OrderedDict[int, LogEntry]" = OrderedDict()
         self._cache_entries = cache_entries
         self._hole_handler = hole_handler or self._default_hole_handler
-        # Serializes iterator/cache mutation across application threads
-        # (the owning runtime also holds its own coarser lock during
-        # playback; this one covers direct uses like indexed-map reads).
+        # Serializes iterator/cache state across application threads:
+        # every method that reads or moves read_ptr/offsets (readnext,
+        # seek, peek_offset, reset, position, pending, known_offsets,
+        # lookahead, sync) takes it. The owning runtime also holds its
+        # own coarser lock during playback; this one covers direct uses
+        # like indexed-map reads. Reentrant because readnext fetches
+        # (and caches) entries while holding it.
         self._lock = threading.RLock()
         # Counters for tests / the performance model.
         self.sync_reads = 0
@@ -94,8 +98,9 @@ class StreamClient:
 
     def open_stream(self, stream_id: int) -> None:
         """Start tracking *stream_id* (idempotent)."""
-        if stream_id not in self._streams:
-            self._streams[stream_id] = _StreamState(stream_id)
+        with self._lock:
+            if stream_id not in self._streams:
+                self._streams[stream_id] = _StreamState(stream_id)
 
     def is_open(self, stream_id: int) -> bool:
         return stream_id in self._streams
@@ -291,10 +296,11 @@ class StreamClient:
         Does not move the iterator; the runtime's merged playback uses
         this to pick the globally smallest next offset across streams.
         """
-        state = self._state(stream_id)
-        if state.read_ptr >= len(state.offsets):
-            return None
-        return state.offsets[state.read_ptr]
+        with self._lock:
+            state = self._state(stream_id)
+            if state.read_ptr >= len(state.offsets):
+                return None
+            return state.offsets[state.read_ptr]
 
     def seek(self, stream_id: int, after_offset: int) -> None:
         """Move the iterator past every offset <= *after_offset*.
@@ -302,15 +308,17 @@ class StreamClient:
         Used after loading a checkpoint: playback resumes at the first
         entry the checkpoint does not cover.
         """
-        state = self._state(stream_id)
-        ptr = 0
-        while ptr < len(state.offsets) and state.offsets[ptr] <= after_offset:
-            ptr += 1
-        state.read_ptr = ptr
+        with self._lock:
+            state = self._state(stream_id)
+            ptr = 0
+            while ptr < len(state.offsets) and state.offsets[ptr] <= after_offset:
+                ptr += 1
+            state.read_ptr = ptr
 
     def known_offsets(self, stream_id: int) -> Tuple[int, ...]:
         """The stream's current linked list (ascending), without fetching."""
-        return tuple(self._state(stream_id).offsets)
+        with self._lock:
+            return tuple(self._state(stream_id).offsets)
 
     def lookahead(self, stream_id: int, after_offset: int):
         """Yield (offset, entry) pairs beyond *after_offset* without
@@ -319,25 +327,32 @@ class StreamClient:
         Consuming clients use this to hunt for a decision record further
         down a stream while replaying history (the decision record of a
         transaction always follows its commit record in the same
-        streams).
+        streams). The offset list is snapshotted under the lock; the
+        fetches happen outside it so a paused consumer cannot hold the
+        iterator lock against playback threads.
         """
-        state = self._state(stream_id)
-        for offset in state.offsets:
-            if offset <= after_offset:
-                continue
+        with self._lock:
+            offsets = [
+                offset
+                for offset in self._state(stream_id).offsets
+                if offset > after_offset
+            ]
+        for offset in offsets:
             yield offset, self.fetch(offset)
 
     def position(self, stream_id: int) -> int:
         """Offset of the last delivered entry (NO_BACKPOINTER before any)."""
-        state = self._state(stream_id)
-        if state.read_ptr == 0:
-            return NO_BACKPOINTER
-        return state.offsets[state.read_ptr - 1]
+        with self._lock:
+            state = self._state(stream_id)
+            if state.read_ptr == 0:
+                return NO_BACKPOINTER
+            return state.offsets[state.read_ptr - 1]
 
     def pending(self, stream_id: int) -> int:
         """Entries discovered by sync but not yet delivered."""
-        state = self._state(stream_id)
-        return len(state.offsets) - state.read_ptr
+        with self._lock:
+            state = self._state(stream_id)
+            return len(state.offsets) - state.read_ptr
 
     def reset(self, stream_id: int) -> None:
         """Rewind the iterator to the beginning of the stream.
@@ -345,7 +360,8 @@ class StreamClient:
         Combined with ``readnext(upto=...)`` this instantiates a view
         from a prefix of the history (time travel, section 3.1).
         """
-        self._state(stream_id).read_ptr = 0
+        with self._lock:
+            self._state(stream_id).read_ptr = 0
 
     # -- passthroughs -------------------------------------------------------------
 

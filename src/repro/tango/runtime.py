@@ -1050,6 +1050,9 @@ class TangoRuntime:
             "decided_txes": len(self._decided),
             "open_transaction": self._current_tx() is not None,
             "stats": dict(self.stats),
+            # Per-endpoint transport counters (rpcs, retries, timeouts,
+            # duplicates, drops, reordered) for the cluster connection.
+            "net": self._streams.corfu.net_stats(),
         }
 
     @property

@@ -17,6 +17,7 @@ from repro.tools.lint.rules.hygiene import (
     NoMutableDefaults,
     NoSwallowedProtocolErrors,
 )
+from repro.tools.lint.rules.net import RpcErrorDiscipline
 from repro.tools.lint.rules.tango import ApplyOnlyMutation, SyncBeforeRead
 
 #: Every rule, in id order. Instantiated once; rules are stateless.
@@ -29,6 +30,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     NoSwallowedProtocolErrors(),  # TL006
     ExplicitLogEncoding(),    # TL007
     NoMutableDefaults(),      # TL008
+    RpcErrorDiscipline(),     # TL009
 )
 
 

@@ -1,0 +1,35 @@
+"""TL009 bad: a projection-aware client issuing unguarded RPCs.
+
+This is the shape of the real ``CorfuClient.trim`` gap: every other
+public operation ran the retry loop, but trim called straight through
+to the chain, so a trim racing a reconfiguration leaked SealedError to
+the application's GC driver.
+"""
+
+
+class Client:
+    def __init__(self, cluster):
+        self._cluster = cluster
+        self._projection = cluster.projection
+        self._chain = cluster.chain
+
+    def refresh_projection(self):
+        self._projection = self._cluster.projection
+
+    def trim(self, offset):
+        rset, address = self._projection.map_offset(offset)
+        # No retry loop: SealedError / NodeDownError / RpcTimeout all
+        # escape to the caller.
+        self._chain.trim(rset, address, self._projection.epoch)
+
+    def check(self):
+        while True:
+            try:
+                return self._cluster.sequencer.query((), epoch=self._projection.epoch)
+            except SealedError:
+                # Handles the seal but not dead nodes or timeouts.
+                self.refresh_projection()
+
+
+class SealedError(Exception):
+    pass

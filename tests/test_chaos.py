@@ -14,6 +14,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.corfu import CorfuCluster
+from repro.net import FaultyTransport
 from repro.objects import TangoMap
 from repro.tango.runtime import TangoRuntime
 from repro.tools import check_log
@@ -143,3 +144,105 @@ class TestChaos:
                 cluster.crash_sequencer(cluster.projection.sequencer)
             rt.run_transaction(lambda: m.put("n", m.get("n") + 1))
         assert m.get("n") == puts
+
+
+# Network chaos: application operations interleaved with transport
+# faults. Rate mixes are indexed by the "rates" action; partitions cut
+# the driving client off from one node at a time.
+_RATE_MIXES = (
+    {"drop_request": 0.0, "drop_response": 0.0, "duplicate": 0.0, "reorder": 0.0},
+    {"drop_request": 0.15, "drop_response": 0.0, "duplicate": 0.0, "reorder": 0.0},
+    {"drop_request": 0.0, "drop_response": 0.15, "duplicate": 0.2, "reorder": 0.0},
+    {"drop_request": 0.1, "drop_response": 0.1, "duplicate": 0.1, "reorder": 0.1},
+)
+
+_net_actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 5), st.integers(0, 99)),
+        st.tuples(st.just("rates"), st.integers(0, 3)),
+        st.tuples(st.just("partition"), st.integers(0, 5)),
+        st.tuples(st.just("heal"), st.just(0)),
+    ),
+    max_size=20,
+)
+
+
+class TestNetworkChaos:
+    """Same invariants as TestChaos, but the failures live in the
+    network: seeded drops, duplicates, reordering and partitions over
+    a FaultyTransport. Committed writes must survive burned sequencer
+    offsets, duplicated chain writes and failure-detector ejections."""
+
+    @staticmethod
+    def _safe_to_cut(cluster, transport, client_name, node):
+        """Never cut the client off from ALL replicas of a chain: with
+        nothing left to fail over to, retries (rightly) exhaust. The
+        sequencer is always fair game — cutting it drives failover."""
+        proj = cluster.projection
+        if node == proj.sequencer:
+            return True
+        chain = next(
+            (rs for rs in proj.replica_sets if node in rs.nodes), None
+        )
+        if chain is None:
+            return True  # already ejected; nobody calls it
+        live = [
+            n
+            for n in chain.nodes
+            if n != node and not transport.partitioned(client_name, n)
+        ]
+        return bool(live)
+
+    def _drive(self, transport, cluster, rt, m, actions):
+        client_name = rt.streams.corfu.name
+        expected = {}
+        for action in actions:
+            kind = action[0]
+            if kind == "put":
+                key, value = f"k{action[1]}", action[2]
+                m.put(key, value)
+                expected[key] = value
+            elif kind == "rates":
+                transport.set_rates(**_RATE_MIXES[action[1]])
+            elif kind == "partition":
+                name = _node_name(cluster, action[1])
+                if name is not None and self._safe_to_cut(
+                    cluster, transport, client_name, name
+                ):
+                    transport.partition(client_name, name)
+            else:  # heal
+                transport.heal()
+        # Final-state checks run over a quiet network (they issue RPCs
+        # through the same transport).
+        transport.calm()
+        return expected
+
+    @given(actions=_net_actions)
+    @_settings
+    def test_no_committed_write_lost_under_network_faults(self, actions):
+        transport = FaultyTransport(seed=11)
+        cluster = CorfuCluster(
+            num_sets=2, replication_factor=3, transport=transport
+        )
+        rt = TangoRuntime(cluster, client_id=1)
+        m = TangoMap(rt, oid=1)
+        expected = self._drive(transport, cluster, rt, m, actions)
+        # Every committed put is visible to the writer...
+        assert {k: m.get(k) for k in expected} == expected
+        # ...and to a brand-new client reconstructing from the log.
+        fresh = TangoMap(TangoRuntime(cluster, client_id=2), oid=1)
+        assert {k: fresh.get(k) for k in expected} == expected
+
+    @given(actions=_net_actions)
+    @_settings
+    def test_log_stays_fsck_clean_under_network_faults(self, actions):
+        transport = FaultyTransport(seed=23)
+        cluster = CorfuCluster(
+            num_sets=2, replication_factor=3, transport=transport
+        )
+        rt = TangoRuntime(cluster, client_id=1)
+        m = TangoMap(rt, oid=1)
+        self._drive(transport, cluster, rt, m, actions)
+        report = check_log(cluster)
+        assert report.healthy
+        assert not report.bad_backpointers

@@ -136,3 +136,63 @@ class TestSequencerFailover:
         )
         assert tail == 9
         assert tuple(streams[1]) == (8, 7, 6)
+
+
+class TestTrimDuringReconfig:
+    def test_trim_with_stale_projection_refreshes_and_succeeds(self, cluster):
+        """A trim racing a reconfiguration must not leak SealedError to
+        the application (the GC driver has no projection to refresh)."""
+        from repro.errors import TrimmedError
+
+        client = cluster.client()
+        offsets = [client.append(b"e%d" % i) for i in range(6)]
+        # Reconfigure behind the client's back: its projection is stale.
+        reconfig.replace_sequencer(cluster)
+        client.trim(offsets[0])
+        with pytest.raises(TrimmedError):
+            client.read(offsets[0])
+        # trim_prefix takes the same retry path.
+        reconfig.eject_storage_node(
+            cluster, sorted(cluster.projection.all_nodes())[0]
+        )
+        client.trim_prefix(4)
+        with pytest.raises(TrimmedError):
+            client.read(3)
+        assert client.read(5).payload == b"e5"
+
+    def test_trim_races_a_live_reconfiguration_thread(self, cluster):
+        import threading
+
+        client = cluster.client()
+        for i in range(30):
+            client.append(b"e%d" % i)
+        errors = []
+        started = threading.Barrier(2)
+
+        def reconfigure():
+            try:
+                started.wait()
+                for _ in range(5):
+                    reconfig.replace_sequencer(cluster)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def trimmer():
+            try:
+                started.wait()
+                for offset in range(25):
+                    client.trim(offset)
+                client.trim_prefix(25)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reconfigure),
+            threading.Thread(target=trimmer),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cluster.client().read(29).payload == b"e29"

@@ -114,3 +114,86 @@ class TestSealAndCrash:
         seq.bootstrap(tail=10, stream_tails={1: [9, 8, 7, 6]}, epoch=0)
         _, streams = seq.query(stream_ids=(1,))
         assert streams[1] == (9, 8)
+
+
+class TestLifecycleRaces:
+    """crash()/seal() vs in-flight increments from other threads.
+
+    Before the lock covered the lifecycle methods, a crash could clear
+    the tail while an increment was mid-flight in another thread,
+    letting the increment hand out an offset from a half-cleared
+    counter (duplicate offsets after recovery). Every observation must
+    be all-or-nothing: a live response or a clean error.
+    """
+
+    def test_increments_during_crashes_never_duplicate_offsets(self):
+        import threading
+
+        seq = Sequencer("seq-0", k=4)
+        issued = []
+        errors = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def incrementer():
+            while not stop.is_set():
+                try:
+                    offset, _ = seq.increment((1,), epoch=0)
+                except NodeDownError:
+                    continue
+                except SealedError:
+                    return
+                with lock:
+                    issued.append(offset)
+
+        def chaos():
+            for i in range(50):
+                seq.crash()
+                # Each recovery installs a floor far above anything the
+                # previous era could have issued, so a duplicate offset
+                # can only come from an increment that observed a
+                # half-cleared counter mid-crash.
+                seq.bootstrap((i + 1) * 10**9, {}, epoch=0)
+            stop.set()
+
+        threads = [threading.Thread(target=incrementer) for _ in range(4)]
+        threads.append(threading.Thread(target=chaos))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(issued) == len(set(issued)), "duplicate offsets issued"
+
+    def test_seal_is_atomic_against_increments(self):
+        import threading
+
+        seq = Sequencer("seq-0", k=4)
+        results = {"sealed": 0, "issued": []}
+        barrier = threading.Barrier(5)
+
+        def incrementer():
+            barrier.wait()
+            try:
+                for _ in range(200):
+                    offset, _ = seq.increment((), epoch=0)
+                    results["issued"].append(offset)
+            except SealedError:
+                results["sealed"] += 1
+
+        def sealer():
+            barrier.wait()
+            seq.seal(1)
+
+        threads = [threading.Thread(target=incrementer) for _ in range(4)]
+        threads.append(threading.Thread(target=sealer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Once seal returned, no epoch-0 increment can have completed
+        # after it: the issued offsets are exactly 0..N-1, no gaps from
+        # half-finished requests.
+        issued = sorted(results["issued"])
+        assert issued == list(range(len(issued)))
+        with pytest.raises(SealedError):
+            seq.increment((), epoch=0)

@@ -184,3 +184,104 @@ class TestManyRuntimesManyThreads:
         # Disjoint write keys, same read key, no interleaved writes to
         # "a": both commit, each from its own thread-local context.
         assert outcomes == {"t1": True, "t2": True}
+
+
+class TestStreamIteratorThreadSafety:
+    """The StreamClient's iterator accessors vs a concurrent reader.
+
+    Before the lock covered seek/peek_offset/reset/position/pending/
+    known_offsets/lookahead, a reader thread advancing read_ptr could
+    race an accessor mid-update: peek_offset could index past the end
+    of the offsets list, and position could read a pointer that another
+    thread had just moved. Every observation must be internally
+    consistent — values drawn from one coherent iterator state.
+    """
+
+    def test_accessors_race_playback(self, cluster):
+        from repro.streams import StreamClient
+
+        sclient = StreamClient(cluster.client())
+        sclient.open_stream(1)
+        for i in range(60):
+            sclient.append(b"e%d" % i, (1,))
+        sclient.sync(1)
+        all_offsets = sclient.known_offsets(1)
+        errors = []
+        delivered = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while True:
+                    item = sclient.readnext(1)
+                    if item is None:
+                        return
+                    delivered.append(item[0])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def observer():
+            try:
+                while not stop.is_set():
+                    peek = sclient.peek_offset(1)
+                    assert peek is None or peek in all_offsets
+                    pos = sclient.position(1)
+                    assert pos == -1 or pos in all_offsets
+                    pending = sclient.pending(1)
+                    assert 0 <= pending <= len(all_offsets)
+                    assert sclient.known_offsets(1) == all_offsets
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def seeker():
+            try:
+                while not stop.is_set():
+                    for _offset, entry in sclient.lookahead(1, 30):
+                        assert not entry.is_junk
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        _run_threads([reader, observer, observer, seeker])
+        assert not errors
+        assert delivered == list(all_offsets)
+
+    def test_seek_and_reset_race_readers(self, cluster):
+        from repro.streams import StreamClient
+
+        sclient = StreamClient(cluster.client())
+        sclient.open_stream(1)
+        for i in range(40):
+            sclient.append(b"e%d" % i, (1,))
+        sclient.sync(1)
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    item = sclient.readnext(1)
+                    if item is not None:
+                        offset, entry = item
+                        assert entry.payload == b"e%d" % offset
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def rewinder():
+            try:
+                for _ in range(200):
+                    sclient.reset(1)
+                    sclient.seek(1, 20)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        _run_threads([reader, reader, rewinder])
+        assert not errors
+        # After the last seek(1, 20), playback resumes past 20; the
+        # readers may have advanced further before noticing the stop
+        # flag, but a torn pointer behind the seek is impossible.
+        peek = sclient.peek_offset(1)
+        assert peek is None or peek > 20
