@@ -31,10 +31,16 @@ own earlier (invisible) success as success.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.corfu.cluster import CorfuCluster
-from repro.corfu.entry import LogEntry, make_header, max_payload_bytes
+from repro.corfu.entry import (
+    NO_BACKPOINTER,
+    LogEntry,
+    make_header,
+    max_payload_bytes,
+)
 from repro.corfu.layout import Projection
 from repro.corfu.replication import ChainReplicator
 from repro.errors import (
@@ -43,8 +49,14 @@ from repro.errors import (
     RpcTimeout,
     SealedError,
     TooManyStreamsError,
+    TrimmedError,
+    UnwrittenError,
     WrittenError,
 )
+
+#: Per-offset outcome of a batched read: the decoded entry, or the
+#: error *instance* (not raised) describing why the offset has none.
+ReadOutcome = Union[LogEntry, UnwrittenError, TrimmedError]
 
 _MAX_RETRIES = 32
 
@@ -68,10 +80,20 @@ class CorfuClient:
         # at the last timeout) for failure detection: only a *silent*
         # node builds a streak.
         self._timeout_streaks: Dict[str, Tuple[int, int]] = {}
-        # Counters for tests / the performance model.
+        # Counters for tests / the performance model. A client is shared
+        # across application threads, so the read-modify-write bumps go
+        # through one lock; readers may still access the plain ints.
+        self._counter_lock = threading.Lock()
         self.appends = 0
         self.reads = 0
         self.fills = 0
+        #: Batched-read observability: ``read_many`` rounds completed
+        #: and entries served through them.
+        self.batched_reads = 0
+        self.batched_read_offsets = 0
+        # Trim observers (e.g. the stream layer's entry cache), called
+        # as cb(offset, is_prefix) after a trim commits cluster-side.
+        self._trim_watchers: List[Callable[[int, bool], None]] = []
 
     # -- transport plumbing --------------------------------------------------
 
@@ -100,8 +122,34 @@ class CorfuClient:
         return proxy
 
     def net_stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-endpoint transport counters (rpcs/retries/timeouts/...)."""
+        """Per-endpoint transport counters (rpcs/retries/timeouts/...).
+
+        Each endpoint dict also carries the batched-read counters
+        ``batch_rpcs`` (delivered ``read_many`` calls) and
+        ``batch_offsets`` (offsets those calls served), so the RPC
+        savings of the batched read path are visible per node.
+        """
         return self._net.endpoint_stats()
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        """Thread-safe bump of one of the public perf counters."""
+        with self._counter_lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    # -- trim observers ------------------------------------------------------
+
+    def subscribe_trim(self, callback: Callable[[int, bool], None]) -> None:
+        """Register ``callback(offset, is_prefix)`` to run after trims.
+
+        The stream layer uses this to evict cached entries for reclaimed
+        offsets, so GC actually frees client memory. Callbacks run on
+        the trimming thread after the cluster-side trim succeeds.
+        """
+        self._trim_watchers.append(callback)
+
+    def _notify_trim(self, offset: int, is_prefix: bool) -> None:
+        for callback in self._trim_watchers:
+            callback(offset, is_prefix)
 
     # -- projection management ----------------------------------------------
 
@@ -223,8 +271,105 @@ class CorfuClient:
         entry = LogEntry(headers=headers, payload=payload)
         raw = entry.encode(offset, self._cluster.k, self._cluster.max_streams)
         self._complete_write(offset, raw)
-        self.appends += 1
+        self._count("appends")
         return offset
+
+    # -- batched append path -------------------------------------------------
+
+    def append_batch(
+        self, payloads: Sequence[bytes], stream_ids: Sequence[int] = ()
+    ) -> List[int]:
+        """Append several payloads with a single sequencer grant.
+
+        Reserves ``len(payloads)`` consecutive offsets in one
+        ``increment(count=n)`` RPC (section 5's counter, batched the way
+        group commit batches log I/O), then drives one chain write per
+        entry. Every payload joins every stream in *stream_ids*, and
+        each entry's backpointers chain through its batch predecessors,
+        so the resulting stream linked list is identical to sequential
+        appends. Returns the offsets in payload order.
+
+        A lost ``increment`` response burns the whole reservation — n
+        holes, which the hole-filling machinery absorbs, exactly like a
+        burned single grant. If a hole-filler races one of our chain
+        writes and wins, that payload transparently retries through the
+        single-append path at a fresh offset.
+        """
+        if not payloads:
+            return []
+        if len(stream_ids) > self._cluster.max_streams:
+            raise TooManyStreamsError(len(stream_ids), self._cluster.max_streams)
+        limit = self.max_payload
+        for payload in payloads:
+            if len(payload) > limit:
+                raise ValueError(
+                    f"payload of {len(payload)} bytes exceeds the "
+                    f"{limit}-byte capacity of a "
+                    f"{self._cluster.entry_size}-byte entry"
+                )
+        count = len(payloads)
+        for attempt in range(_MAX_RETRIES):
+            proj = self._projection
+            seq = self._sequencer_rpc(proj.sequencer)
+            try:
+                first, backpointers = seq.increment(
+                    stream_ids, epoch=proj.epoch, count=count
+                )
+            except SealedError:
+                self.refresh_projection()
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+            except RpcTimeout as exc:
+                # The reservation may have executed (lost response):
+                # those offsets are burned and become holes for fill()
+                # to patch. A fresh reservation is always safe.
+                self._handle_timeout(exc, attempt)
+            else:
+                self._note_success()
+                return self._write_batch(
+                    first, payloads, stream_ids, backpointers
+                )
+        raise RetriesExhaustedError("append_batch", _MAX_RETRIES)
+
+    def _write_batch(
+        self,
+        first: int,
+        payloads: Sequence[bytes],
+        stream_ids: Sequence[int],
+        backpointers: Dict[int, Tuple[int, ...]],
+    ) -> List[int]:
+        """Chain-write a reserved batch; entry i backpoints into the batch."""
+        k = self._cluster.k
+        prior = {
+            sid: [p for p in backpointers[sid] if p != NO_BACKPOINTER]
+            for sid in stream_ids
+        }
+        offsets: List[int] = []
+        for i, payload in enumerate(payloads):
+            offset = first + i
+            headers = tuple(
+                make_header(
+                    sid,
+                    tuple(range(offset - 1, first - 1, -1)) + tuple(prior[sid]),
+                    offset,
+                    k,
+                )
+                for sid in stream_ids
+            )
+            entry = LogEntry(headers=headers, payload=payload)
+            raw = entry.encode(offset, k, self._cluster.max_streams)
+            try:
+                self._complete_write(offset, raw)
+            except WrittenError:
+                # A hole-filler patched our reserved offset before the
+                # write landed; the payload takes a fresh offset via the
+                # ordinary append retry loop. Stream membership is
+                # preserved (the junk-filled offset is skipped by
+                # walkers), only the position moves.
+                offset = self.append(payload, stream_ids)
+            self._count("appends")
+            offsets.append(offset)
+        return offsets
 
     def _complete_write(self, offset: int, raw: bytes) -> None:
         """Drive the chain write for an offset this client owns.
@@ -279,10 +424,76 @@ class CorfuClient:
             except RpcTimeout as exc:
                 self._handle_timeout(exc, attempt)
                 continue
-            self.reads += 1
+            self._count("reads")
             self._note_success()
             return LogEntry.decode(raw, offset, self._cluster.k)
         raise RetriesExhaustedError("read", _MAX_RETRIES)
+
+    def read_many(self, offsets: Sequence[int]) -> Dict[int, ReadOutcome]:
+        """Batched read: one storage round trip per replica node.
+
+        Offsets are grouped by :meth:`Projection.map_offset`, so each
+        chain's tail receives exactly the addresses it owns in a single
+        ``read_many`` RPC. Returns ``{offset: outcome}`` where the
+        outcome is the decoded :class:`LogEntry`, or an
+        :class:`UnwrittenError` / :class:`TrimmedError` *instance* for
+        holes and reclaimed offsets — per-offset conditions are data and
+        never fail the batch.
+
+        The full retry discipline of the single read applies (sealed
+        epoch → refresh, dead node → reconfigure, timeout → backoff /
+        failure-detect), and results already collected are retained
+        across retries: a reconfiguration halfway through the groups
+        re-reads only what is still missing.
+        """
+        results: Dict[int, ReadOutcome] = {}
+        remaining = sorted(set(offsets))
+        if not remaining:
+            return results
+        for attempt in range(_MAX_RETRIES):
+            proj = self._projection
+            # Group the missing offsets by replica set under the current
+            # projection; the grouping is redone per attempt because a
+            # reconfiguration changes the mapping.
+            groups: Dict[int, List[int]] = {}
+            n = len(proj.replica_sets)
+            for offset in remaining:
+                groups.setdefault(offset % n, []).append(offset)
+            try:
+                for set_index in sorted(groups):
+                    batch = groups[set_index]
+                    rset = proj.replica_sets[set_index]
+                    addresses = [offset // n for offset in batch]
+                    raw_map = self._chain.read_many(
+                        rset, addresses, proj.epoch
+                    )
+                    served = 0
+                    for offset, address in zip(batch, addresses):
+                        status, data = raw_map[address]
+                        if status == "ok":
+                            results[offset] = LogEntry.decode(
+                                data, offset, self._cluster.k
+                            )
+                            served += 1
+                        elif status == "trimmed":
+                            results[offset] = TrimmedError(offset)
+                        else:
+                            results[offset] = UnwrittenError(offset)
+                    with self._counter_lock:
+                        self.reads += served
+                        self.batched_reads += 1
+                        self.batched_read_offsets += len(batch)
+                    remaining = [o for o in remaining if o not in results]
+            except SealedError:
+                self.refresh_projection()
+            except NodeDownError as exc:
+                self._handle_node_down(exc)
+            except RpcTimeout as exc:
+                self._handle_timeout(exc, attempt)
+            else:
+                self._note_success()
+                return results
+        raise RetriesExhaustedError("read_many", _MAX_RETRIES)
 
     def is_written(self, offset: int) -> bool:
         """True if *offset* is owned by some append (even one in flight)."""
@@ -400,7 +611,7 @@ class CorfuClient:
             rset, address = proj.map_offset(offset)
             try:
                 self._chain.write(rset, address, junk, proj.epoch)
-                self.fills += 1
+                self._count("fills")
                 self._note_success()
                 return
             except WrittenError:
@@ -436,6 +647,7 @@ class CorfuClient:
                 self._handle_timeout(exc, attempt)
             else:
                 self._note_success()
+                self._notify_trim(offset, False)
                 return
         raise RetriesExhaustedError("trim", _MAX_RETRIES)
 
@@ -463,5 +675,6 @@ class CorfuClient:
                 self._handle_timeout(exc, attempt)
             else:
                 self._note_success()
+                self._notify_trim(offset, True)
                 return
         raise RetriesExhaustedError("trim_prefix", _MAX_RETRIES)

@@ -113,6 +113,40 @@ class ChainReplicator:
         self._repair(rset, address, data, epoch)
         return data
 
+    def read_many(self, rset: ReplicaSet, addresses, epoch: int):
+        """Batched tail read: one RPC per replica node, not per address.
+
+        Returns ``{address: (status, data)}`` with the same per-address
+        outcome vocabulary as :meth:`FlashUnit.read_many` (``"ok"`` /
+        ``"unwritten"`` / ``"trimmed"``). Addresses unwritten at the tail
+        are re-checked at the head in a second batched RPC: head-written
+        pages are in-flight writes, which are completed (read-repair)
+        and returned as ``"ok"``, preserving the read-after-complete
+        rule of the single-address path.
+        """
+        tail = self._lookup(rset.tail)
+        results = dict(tail.read_many(addresses, epoch))
+        if len(rset) == 1:
+            return results
+        pending = sorted(
+            addr for addr, (status, _) in results.items() if status == "unwritten"
+        )
+        if not pending:
+            return results
+        head = self._lookup(rset.head)
+        head_results = head.read_many(pending, epoch)
+        for addr in pending:
+            status, data = head_results[addr]
+            if status == "ok":
+                # In-flight write: complete the chain on the writer's
+                # behalf, then the value is durable and visible.
+                self._repair(rset, addr, data, epoch)
+                results[addr] = ("ok", data)
+            # "unwritten" stays a genuine hole; "trimmed" at the head
+            # with an unwritten tail means GC raced us — report the
+            # hole (a trim implies the data was reclaimable anyway).
+        return results
+
     def is_written(self, rset: ReplicaSet, address: int, epoch: int) -> bool:
         """True if the offset is owned (head written), even if in flight."""
         head = self._lookup(rset.head)

@@ -36,8 +36,12 @@ class Sequencer:
         self._lock = threading.Lock()
         # stream id -> last K offsets issued, newest first.
         self._stream_tails: Dict[int, List[int]] = {}
-        # Counters for tests / the performance model.
+        # Counters for tests / the performance model. ``increments``
+        # counts grant RPCs; ``offsets_issued`` counts offsets those
+        # grants reserved, so a batched grant (count=n) shows as one
+        # RPC covering n offsets.
         self.increments = 0
+        self.offsets_issued = 0
         self.queries = 0
 
     # -- lifecycle ----------------------------------------------------------
@@ -124,6 +128,7 @@ class Sequencer:
             first = self._tail
             self._tail += count
             self.increments += 1
+            self.offsets_issued += count
             backpointers: Dict[int, Tuple[int, ...]] = {}
             for sid in stream_ids:
                 prior = self._stream_tails.get(sid, [])

@@ -26,7 +26,7 @@ It enforces exactly the semantics the protocols rely on:
 from __future__ import annotations
 
 import threading
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.errors import (
     NodeDownError,
@@ -118,6 +118,30 @@ class FlashUnit:
                 raise UnwrittenError(address)
             self.reads += 1
             return self._pages[address]
+
+    def read_many(self, addresses, epoch: int):
+        """Batched read: one RPC returning a per-address outcome map.
+
+        Returns ``{address: (status, data)}`` where *status* is ``"ok"``
+        (with the page bytes), ``"unwritten"`` or ``"trimmed"`` (with
+        ``None``). Per-address holes and reclaimed pages are *data*, not
+        errors — a batch must not fail because one offset is a hole.
+        Node-level conditions (down node, stale epoch) still raise for
+        the whole call, exactly like :meth:`read`.
+        """
+        with self._lock:
+            self._check_up()
+            self._check_epoch(epoch)
+            results: Dict[int, Tuple[str, Optional[bytes]]] = {}
+            for address in addresses:
+                if self._is_trimmed(address):
+                    results[address] = ("trimmed", None)
+                elif address not in self._pages:
+                    results[address] = ("unwritten", None)
+                else:
+                    self.reads += 1
+                    results[address] = ("ok", self._pages[address])
+            return results
 
     def is_written(self, address: int, epoch: int) -> bool:
         """True if *address* holds data (trimmed counts as written)."""

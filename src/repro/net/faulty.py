@@ -158,14 +158,14 @@ class FaultyTransport(Transport):
                 self._defer_locked(target, op, resolve, args, kwargs)
                 stats.timeouts += 1
                 raise RpcTimeout(target, op)
-            stats.rpcs += 1
+            stats.note_delivery(op, args)
             result = getattr(resolve(), op)(*args, **kwargs)
             # Post-execution faults apply only to calls the server
             # completed: a duplicate of a rejected request is a no-op,
             # and there is no response to lose.
             if self.duplicate and self._rng.random() < self.duplicate:
                 stats.duplicates += 1
-                stats.rpcs += 1
+                stats.note_delivery(op, args)
                 try:
                     getattr(resolve(), op)(*args, **kwargs)
                 except ReproError:
@@ -202,6 +202,7 @@ class FaultyTransport(Transport):
         self.stats_for(target).reordered += 1
 
         def deliver() -> None:
+            self.stats_for(target).note_delivery(op, args)
             try:
                 getattr(resolve(), op)(*args, **kwargs)
             except ReproError:
@@ -222,7 +223,6 @@ class FaultyTransport(Transport):
         if not ready:
             return 0
         self._deferred = [i for i in self._deferred if i not in ready]
-        for _due, _seq, target, deliver in sorted(ready, key=lambda i: (i[0], i[1])):
-            self.stats_for(target).rpcs += 1
+        for _due, _seq, _target, deliver in sorted(ready, key=lambda i: (i[0], i[1])):
             deliver()
         return len(ready)

@@ -26,10 +26,16 @@ class EndpointStats:
     ``timeouts`` counts :class:`~repro.errors.RpcTimeout` raised to
     callers; ``duplicates`` counts extra at-least-once deliveries;
     ``drops`` counts lost requests/responses; ``reordered`` counts
-    deliveries deferred past their issue order.
+    deliveries deferred past their issue order. ``batch_rpcs`` /
+    ``batch_offsets`` count delivered *batched* reads (``read_many``)
+    and the offsets they carried — the observable proof that the
+    batched read path is collapsing round trips.
     """
 
-    __slots__ = ("rpcs", "retries", "timeouts", "duplicates", "drops", "reordered")
+    __slots__ = (
+        "rpcs", "retries", "timeouts", "duplicates", "drops", "reordered",
+        "batch_rpcs", "batch_offsets",
+    )
 
     def __init__(self) -> None:
         self.rpcs = 0
@@ -38,6 +44,18 @@ class EndpointStats:
         self.duplicates = 0
         self.drops = 0
         self.reordered = 0
+        self.batch_rpcs = 0
+        self.batch_offsets = 0
+
+    def note_delivery(self, op: str, args: tuple) -> None:
+        """Record one delivered call (the server executed it)."""
+        self.rpcs += 1
+        if op == "read_many" and args:
+            self.batch_rpcs += 1
+            try:
+                self.batch_offsets += len(args[0])
+            except TypeError:  # pragma: no cover - malformed batch arg
+                pass
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -47,6 +65,8 @@ class EndpointStats:
             "duplicates": self.duplicates,
             "drops": self.drops,
             "reordered": self.reordered,
+            "batch_rpcs": self.batch_rpcs,
+            "batch_offsets": self.batch_offsets,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -159,5 +179,5 @@ class LoopbackTransport(Transport):
         args: tuple,
         kwargs: dict,
     ):
-        self.stats_for(target).rpcs += 1
+        self.stats_for(target).note_delivery(op, args)
         return getattr(resolve(), op)(*args, **kwargs)

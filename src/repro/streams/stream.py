@@ -28,13 +28,45 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.corfu.client import CorfuClient
 from repro.corfu.entry import NO_BACKPOINTER, LogEntry
-from repro.errors import TrimmedError, UnknownStreamError, UnwrittenError
+from repro.errors import (
+    ReproError,
+    TrimmedError,
+    UnknownStreamError,
+    UnwrittenError,
+)
 
 #: Default client-side entry cache capacity (entries, not bytes).
 DEFAULT_CACHE_ENTRIES = 131072
 
 #: Default hole timeout before filling, seconds (paper: "100ms by default").
 DEFAULT_HOLE_TIMEOUT = 0.1
+
+#: Offsets per batched RPC when a junk dead-end forces a linear
+#: backward scan (the scan reads every offset in range anyway, so
+#: batching it is a pure round-trip win).
+SCAN_WINDOW = 32
+
+#: Known upcoming offsets prefetched per batched RPC during playback.
+PLAYBACK_PREFETCH = 8
+
+
+class _InflightFetch:
+    """Single-flight slot for one offset's fetch.
+
+    Exactly one thread (the owner) issues the read RPC and runs the
+    hole handler; every concurrent fetch of the same offset waits on
+    the event and shares the owner's entry or exception. A slot that
+    resolves with neither (the owner obtained nothing it could share,
+    e.g. a best-effort batch skipping a hole) tells waiters to retry —
+    the next one through becomes the new owner.
+    """
+
+    __slots__ = ("event", "entry", "exc")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.entry: Optional[LogEntry] = None
+        self.exc: Optional[BaseException] = None
 
 
 class _StreamState:
@@ -69,6 +101,16 @@ class StreamClient:
             their own handlers to exercise races between slow writers
             and fillers.
         cache_entries: capacity of the shared entry cache.
+        prefetch_window: with a window W set, a cold backpointer walk
+            over a *dense* stream region speculatively batch-reads W
+            contiguous offsets per storage round trip
+            (``CorfuClient.read_many``) instead of fetching one cursor
+            at a time, collapsing the walk's RPC count by roughly
+            W / (K * num_chains). Sparse regions (detected from the
+            backpointer stride) fall back to the exact per-offset walk,
+            so a thin stream over a huge log never over-reads. ``None``
+            (the default) disables speculation entirely and preserves
+            the paper's ~N/K read accounting.
     """
 
     def __init__(
@@ -76,12 +118,22 @@ class StreamClient:
         corfu: CorfuClient,
         hole_handler: Optional[Callable[[int], None]] = None,
         cache_entries: int = DEFAULT_CACHE_ENTRIES,
+        prefetch_window: Optional[int] = None,
     ) -> None:
         self._corfu = corfu
         self._streams: Dict[int, _StreamState] = {}
         self._cache: "OrderedDict[int, LogEntry]" = OrderedDict()
         self._cache_entries = cache_entries
+        self._prefetch_window = prefetch_window
+        # Guards _cache and _inflight. Separate from the iterator lock
+        # so a thread waiting on another's in-flight fetch never blocks
+        # cache inserts (which would deadlock single-flight waiters).
+        self._cache_lock = threading.Lock()
+        self._inflight: Dict[int, _InflightFetch] = {}
         self._hole_handler = hole_handler or self._default_hole_handler
+        # GC must actually free client memory: evict cached entries for
+        # offsets the log reclaims, whoever drives the trim.
+        corfu.subscribe_trim(self._on_trim)
         # Serializes iterator/cache state across application threads:
         # every method that reads or moves read_ptr/offsets (readnext,
         # seek, peek_offset, reset, position, pending, known_offsets,
@@ -125,6 +177,18 @@ class StreamClient:
         """
         return self._corfu.append(payload, stream_ids)
 
+    def append_batch(
+        self, payloads: Sequence[bytes], stream_ids: Sequence[int]
+    ) -> List[int]:
+        """Multiappend several payloads with one sequencer round trip.
+
+        Each payload joins every stream in *stream_ids*; the resulting
+        linked lists are identical to sequential :meth:`append` calls
+        (see :meth:`CorfuClient.append_batch`). Returns the offsets in
+        payload order.
+        """
+        return self._corfu.append_batch(payloads, stream_ids)
+
     # -- entry fetch with hole handling ------------------------------------------
 
     def _default_hole_handler(self, offset: int) -> None:
@@ -135,29 +199,190 @@ class StreamClient:
 
         Returns a junk entry for trimmed offsets so that walkers treat
         reclaimed space like filled holes.
+
+        Concurrent fetches of the same offset are single-flighted:
+        exactly one thread issues the read RPC (and, on a hole, runs the
+        hole handler exactly once); every other thread waits and shares
+        the owner's entry or exception. Without this, the window between
+        the cache-miss check and the cache insert lets N threads issue N
+        identical RPCs — and run N hole handlers — for one offset.
         """
-        with self._lock:
-            cached = self._cache.get(offset)
-            if cached is not None:
-                self._cache.move_to_end(offset)
-                return cached
+        while True:
+            with self._cache_lock:
+                cached = self._cache.get(offset)
+                if cached is not None:
+                    self._cache.move_to_end(offset)
+                    return cached
+                flight = self._inflight.get(offset)
+                if flight is None:
+                    flight = _InflightFetch()
+                    self._inflight[offset] = flight
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                flight.event.wait()
+                if flight.exc is not None:
+                    raise flight.exc
+                if flight.entry is not None:
+                    return flight.entry
+                # Unresolved slot (a best-effort batch skipped this
+                # offset): loop and become the new owner.
+                continue
+            try:
+                entry = self._fetch_uncached(offset)
+            except BaseException as exc:
+                with self._cache_lock:
+                    self._inflight.pop(offset, None)
+                    flight.exc = exc
+                flight.event.set()
+                raise
+            with self._cache_lock:
+                self._cache_insert_locked(offset, entry)
+                self._inflight.pop(offset, None)
+                flight.entry = entry
+            flight.event.set()
+            return entry
+
+    def _fetch_uncached(self, offset: int) -> LogEntry:
+        """The actual read RPC (plus hole handling) behind ``fetch``."""
         try:
-            entry = self._corfu.read(offset)
+            return self._corfu.read(offset)
         except UnwrittenError:
             self._hole_handler(offset)
             try:
-                entry = self._corfu.read(offset)
+                return self._corfu.read(offset)
             except UnwrittenError:
                 # Handler chose not to fill (e.g. still inside the
                 # timeout window); surface the hole to the caller.
                 raise
         except TrimmedError:
-            entry = LogEntry.junk()
-        with self._lock:
-            self._cache[offset] = entry
-            if len(self._cache) > self._cache_entries:
-                self._cache.popitem(last=False)
-        return entry
+            return LogEntry.junk()
+
+    def _cache_insert_locked(self, offset: int, entry: LogEntry) -> None:
+        """Insert into the LRU cache; caller holds ``_cache_lock``."""
+        self._cache[offset] = entry
+        self._cache.move_to_end(offset)
+        if len(self._cache) > self._cache_entries:
+            self._cache.popitem(last=False)
+
+    def _fetch_many_best_effort(self, offsets: Sequence[int]) -> int:
+        """Warm the cache for *offsets* in one batched read per chain.
+
+        Claims single-flight slots for the offsets that are neither
+        cached nor already in flight, reads them all with a single
+        :meth:`CorfuClient.read_many` round, and caches the written
+        ones (trimmed offsets cache as junk, matching ``fetch``).
+        Unwritten offsets are *skipped* — no hole handling here — and
+        their slots resolve empty, which sends any waiter (including our
+        caller's per-offset fallback) through ``fetch`` to own the hole.
+        Returns the number of offsets newly cached.
+        """
+        claimed: Dict[int, _InflightFetch] = {}
+        with self._cache_lock:
+            for off in offsets:
+                if off in self._cache or off in claimed or off in self._inflight:
+                    continue
+                flight = _InflightFetch()
+                self._inflight[off] = flight
+                claimed[off] = flight
+        if not claimed:
+            return 0
+        try:
+            outcomes = self._corfu.read_many(tuple(claimed))
+        except BaseException:
+            with self._cache_lock:
+                for off in claimed:
+                    self._inflight.pop(off, None)
+            for flight in claimed.values():
+                flight.event.set()  # unresolved: waiters retry solo
+            raise
+        filled = 0
+        with self._cache_lock:
+            for off, flight in claimed.items():
+                outcome = outcomes.get(off)
+                if isinstance(outcome, LogEntry):
+                    entry: Optional[LogEntry] = outcome
+                elif isinstance(outcome, TrimmedError):
+                    entry = LogEntry.junk()
+                else:
+                    entry = None  # hole: leave to per-offset fetch
+                if entry is not None:
+                    self._cache_insert_locked(off, entry)
+                    flight.entry = entry
+                    filled += 1
+                self._inflight.pop(off, None)
+        for flight in claimed.values():
+            flight.event.set()
+        return filled
+
+    def _prefetch(self, offsets: Sequence[int]) -> None:
+        """Best-effort batched cache warm: never raises, never fills holes.
+
+        Only spends an RPC when at least two of the offsets are actual
+        cache misses — a single miss costs the same round trip either
+        way, and the subsequent ``fetch`` handles it with full hole
+        semantics.
+        """
+        with self._cache_lock:
+            misses = [
+                off
+                for off in offsets
+                if off not in self._cache and off not in self._inflight
+            ]
+        if len(misses) < 2:
+            return
+        try:
+            self._fetch_many_best_effort(misses)
+        except ReproError:
+            pass  # the per-offset path retries with full discipline
+
+    def fetch_many(self, offsets: Sequence[int]) -> Dict[int, LogEntry]:
+        """Fetch several offsets, batching the storage round trips.
+
+        Equivalent to ``{off: fetch(off) for off in offsets}`` —
+        including hole handling and junk-for-trimmed — but written
+        offsets are read with one RPC per replica chain instead of one
+        per offset. Holes surface through the per-offset fallback so the
+        hole handler runs exactly once per hole.
+        """
+        wanted = sorted(set(offsets))
+        if len(wanted) > 1:
+            try:
+                self._fetch_many_best_effort(wanted)
+            except ReproError:
+                pass  # fall through to the per-offset retry discipline
+        return {off: self.fetch(off) for off in wanted}
+
+    # -- cache maintenance -------------------------------------------------------
+
+    @property
+    def cache_size(self) -> int:
+        """Entries currently cached (tests/observability)."""
+        with self._cache_lock:
+            return len(self._cache)
+
+    def cached_offsets(self) -> Tuple[int, ...]:
+        """Snapshot of cached offsets, ascending (tests/observability)."""
+        with self._cache_lock:
+            return tuple(sorted(self._cache))
+
+    def _on_trim(self, offset: int, is_prefix: bool) -> None:
+        """Evict cache entries the log just reclaimed.
+
+        Registered with :meth:`CorfuClient.subscribe_trim`; runs on the
+        trimming thread after the cluster-side trim succeeds. Without
+        this the cache would keep serving entries whose offsets the log
+        has already handed back to GC — unbounded memory on a client
+        that plays a long-lived, checkpointed stream.
+        """
+        with self._cache_lock:
+            if is_prefix:
+                stale = [off for off in self._cache if off < offset]
+            else:
+                stale = [offset] if offset in self._cache else []
+            for off in stale:
+                del self._cache[off]
 
     # -- sync: bring the linked list up to date ------------------------------------
 
@@ -208,7 +433,19 @@ class StreamClient:
         cursor = min(recents)
         if cursor <= floor:
             cursor = None
+        window = self._prefetch_window
+        # Stride estimate: mean gap between consecutive entries of this
+        # stream, seeded from the sequencer's last-K offsets and refined
+        # from each entry's backpointers as the walk descends. The
+        # speculative window prefetch below only pays when a W-offset
+        # window is expected to hold several entries of the stream.
+        if len(recents) >= 2:
+            stride = max(1.0, (max(recents) - min(recents)) / (len(recents) - 1))
+        else:
+            stride = 1.0
         while cursor is not None and cursor > floor:
+            if window:
+                self._maybe_prefetch_window(cursor, floor, window, stride)
             entry = self._try_fetch(cursor)
             header = entry.header_for(stream_id) if entry is not None else None
             if entry is None or entry.is_junk or header is None:
@@ -237,9 +474,31 @@ class StreamClient:
                     cursor = None
                 continue
             discovered.update(ptrs)
+            stride = max(1.0, (cursor - min(ptrs)) / len(ptrs))
             cursor = min(ptrs)
         state.extend(discovered)
         return state.highest_known()
+
+    def _maybe_prefetch_window(
+        self, cursor: int, floor: int, window: int, stride: float
+    ) -> None:
+        """Speculatively batch-read the window below *cursor* if dense.
+
+        The walk will examine roughly ``window / stride`` offsets inside
+        the window, so speculation only pays when the stream is dense
+        there; a sparse region (stride > window / 8) keeps the exact
+        per-offset walk and never over-reads. Skipped when *cursor* is
+        already cached or in flight — the walk is inside warm ground.
+        """
+        if stride > window / 8:
+            return
+        with self._cache_lock:
+            if cursor in self._cache or cursor in self._inflight:
+                return
+        lo = max(floor + 1, cursor - window + 1)
+        if cursor - lo < 1:
+            return
+        self._prefetch(range(lo, cursor + 1))
 
     def _try_fetch(self, offset: int) -> Optional[LogEntry]:
         """Fetch, mapping unresolvable holes to None."""
@@ -256,14 +515,26 @@ class StreamClient:
         Used when backpointers dead-end in junk (section 5: "a client in
         this situation resorts to scanning the log backwards to find an
         earlier valid entry for the stream").
+
+        The scan examines every offset in range regardless, so it reads
+        the log in :data:`SCAN_WINDOW`-sized batches — one storage round
+        trip per replica chain per window instead of one per offset.
+        Holes inside a window are skipped by the batch and re-fetched
+        individually so hole handling stays per-offset and exactly-once.
         """
-        for offset in range(start, floor, -1):
-            self.backward_scans += 1
-            entry = self._try_fetch(offset)
-            if entry is None or entry.is_junk:
-                continue
-            if entry.header_for(stream_id) is not None:
-                return offset
+        top = start
+        while top > floor:
+            lo = max(floor + 1, top - SCAN_WINDOW + 1)
+            if top > lo:
+                self._prefetch(range(lo, top + 1))
+            for offset in range(top, lo - 1, -1):
+                self.backward_scans += 1
+                entry = self._try_fetch(offset)
+                if entry is None or entry.is_junk:
+                    continue
+                if entry.header_for(stream_id) is not None:
+                    return offset
+            top = lo - 1
         return None
 
     # -- playback ---------------------------------------------------------------
@@ -286,6 +557,19 @@ class StreamClient:
             offset = state.offsets[state.read_ptr]
             if upto is not None and offset > upto:
                 return None
+            # The next few deliverable offsets are already known; warm
+            # them with one batched read instead of one RPC each as the
+            # iterator reaches them. Bounded by *upto* so a held-back
+            # suffix is never read early.
+            upcoming = [
+                off
+                for off in state.offsets[
+                    state.read_ptr : state.read_ptr + PLAYBACK_PREFETCH
+                ]
+                if upto is None or off <= upto
+            ]
+            if len(upcoming) > 1:
+                self._prefetch(upcoming)
             entry = self.fetch(offset)
             state.read_ptr += 1
             return offset, entry
@@ -337,8 +621,12 @@ class StreamClient:
                 for offset in self._state(stream_id).offsets
                 if offset > after_offset
             ]
-        for offset in offsets:
-            yield offset, self.fetch(offset)
+        for i in range(0, len(offsets), PLAYBACK_PREFETCH):
+            chunk = offsets[i : i + PLAYBACK_PREFETCH]
+            if len(chunk) > 1:
+                self._prefetch(chunk)
+            for offset in chunk:
+                yield offset, self.fetch(offset)
 
     def position(self, stream_id: int) -> int:
         """Offset of the last delivered entry (NO_BACKPOINTER before any)."""

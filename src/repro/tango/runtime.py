@@ -41,7 +41,7 @@ from repro.errors import (
     TransactionAborted,
     UnknownObjectError,
 )
-from repro.streams.stream import StreamClient
+from repro.streams.stream import PLAYBACK_PREFETCH, StreamClient
 from repro.tango.records import (
     NO_TX,
     NO_VERSION,
@@ -222,9 +222,16 @@ class TangoRuntime:
         return tuple(self._objects)
 
     def _maybe_load_checkpoint(self, oid: int, obj) -> None:
-        """Find and load the newest checkpoint record in *oid*'s stream."""
-        offsets = self._streams.known_offsets(oid)
-        for offset in reversed(offsets):
+        """Find and load the newest checkpoint record in *oid*'s stream.
+
+        Scans newest-first, prefetching the candidate offsets in small
+        batched reads (the checkpoint is usually within the last few
+        entries, so a full-stream batch would over-read).
+        """
+        offsets = list(reversed(self._streams.known_offsets(oid)))
+        for i, offset in enumerate(offsets):
+            if i % PLAYBACK_PREFETCH == 0:
+                self._streams._prefetch(offsets[i : i + PLAYBACK_PREFETCH])
             entry = self._streams.fetch(offset)
             if entry.is_junk:
                 continue
@@ -1121,11 +1128,25 @@ class _UpdateBatch:
         ):
             self._runtime._streams.append(payload, tuple(streams))
             return
-        # Oversized batch: fall back to one entry per record.
-        for record in records:
-            self._runtime._streams.append(
-                encode_records([record]), (record.oid,)
-            )
+        # Oversized batch: one entry per record, but runs of records for
+        # the same object still share a single sequencer grant
+        # (append_batch), so the flush costs one increment RPC per run
+        # instead of one per record.
+        i = 0
+        while i < len(records):
+            j = i
+            while j < len(records) and records[j].oid == records[i].oid:
+                j += 1
+            run = records[i:j]
+            if len(run) > 1:
+                self._runtime._streams.append_batch(
+                    [encode_records([r]) for r in run], (run[0].oid,)
+                )
+            else:
+                self._runtime._streams.append(
+                    encode_records([run[0]]), (run[0].oid,)
+                )
+            i = j
 
 
 class _BatchScope:

@@ -23,7 +23,8 @@ from repro.tools.lint.rules.common import class_methods
 _RPC_OPS = frozenset(
     {
         "increment", "query", "seal", "bootstrap", "local_tail",
-        "write", "read", "is_written", "trim", "trim_prefix", "fill",
+        "write", "read", "read_many", "is_written", "trim",
+        "trim_prefix", "fill",
     }
 )
 
