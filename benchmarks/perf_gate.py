@@ -1,0 +1,223 @@
+"""perf_gate: measure real-code-path throughput and write BENCH_appends.json.
+
+A standalone, stdlib-only throughput gate (no pytest-benchmark needed):
+each scenario runs a closed loop against the actual implementation for
+a fixed wall-clock window and reports ops/sec. The JSON artifact checked
+in at the repo root gives reviewers a baseline to diff against — a PR
+that halves ``corfu_append`` shows up as a number, not a feeling.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py            # full windows
+    PYTHONPATH=src python benchmarks/perf_gate.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/perf_gate.py -o BENCH_appends.json
+
+Composes with the lock sanitizer: ``REPRO_LOCKCHECK=1`` instruments
+every lock the scenarios take, so the gate doubles as a concurrency
+smoke test (any witnessed lock-order cycle fails the run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+)
+
+from repro.bench.experiments import fig2_sequencer  # noqa: E402
+from repro.corfu import CorfuCluster  # noqa: E402
+from repro.objects import TangoMap, TangoRegister  # noqa: E402
+from repro.streams import StreamClient  # noqa: E402
+from repro.tango.runtime import TangoRuntime  # noqa: E402
+
+PAYLOAD = b"x" * 256
+
+
+def _timed_loop(op, window: float, warmup_ops: int = 25) -> dict:
+    """Run *op* closed-loop for *window* seconds; return throughput."""
+    for _ in range(warmup_ops):
+        op()
+    count = 0
+    start = time.perf_counter()
+    deadline = start + window
+    now = start
+    while now < deadline:
+        op()
+        count += 1
+        now = time.perf_counter()
+    elapsed = now - start
+    return {
+        "ops": count,
+        "elapsed_s": round(elapsed, 6),
+        "ops_per_sec": round(count / elapsed, 2) if elapsed > 0 else 0.0,
+    }
+
+
+# -- scenarios (each builds its own deployment; nothing shared) ----------
+
+
+def scenario_corfu_append(window: float) -> dict:
+    client = CorfuCluster(num_sets=3, replication_factor=2).client()
+    return _timed_loop(lambda: client.append(PAYLOAD, (1,)), window)
+
+
+def scenario_corfu_append_batch(window: float, batch: int = 16) -> dict:
+    client = CorfuCluster(num_sets=3, replication_factor=2).client()
+    payloads = [PAYLOAD] * batch
+    result = _timed_loop(lambda: client.append_batch(payloads, (1,)), window)
+    result["ops"] *= batch  # report per-entry throughput
+    result["ops_per_sec"] = round(result["ops_per_sec"] * batch, 2)
+    result["batch"] = batch
+    return result
+
+
+def scenario_corfu_read(window: float) -> dict:
+    client = CorfuCluster(num_sets=3, replication_factor=2).client()
+    offset = client.append(PAYLOAD, (1,))
+    return _timed_loop(lambda: client.read(offset), window)
+
+
+def scenario_corfu_read_many(window: float, batch: int = 16) -> dict:
+    client = CorfuCluster(num_sets=3, replication_factor=2).client()
+    offsets = [client.append(PAYLOAD, (1,)) for _ in range(batch)]
+    result = _timed_loop(lambda: client.read_many(offsets), window)
+    result["ops"] *= batch
+    result["ops_per_sec"] = round(result["ops_per_sec"] * batch, 2)
+    result["batch"] = batch
+    return result
+
+
+def scenario_stream_append_sync(window: float) -> dict:
+    sclient = StreamClient(CorfuCluster(num_sets=3, replication_factor=2).client())
+    sclient.open_stream(1)
+
+    def append_then_sync():
+        sclient.append(b"new", (1,))
+        sclient.sync(1)
+
+    return _timed_loop(append_then_sync, window)
+
+
+def scenario_register_write_read(window: float) -> dict:
+    runtime = TangoRuntime(
+        CorfuCluster(num_sets=3, replication_factor=2), client_id=1
+    )
+    register = TangoRegister(runtime, oid=1)
+
+    def write_read():
+        register.write(42)
+        register.read()
+
+    return _timed_loop(write_read, window)
+
+
+def scenario_map_tx_commit(window: float) -> dict:
+    runtime = TangoRuntime(
+        CorfuCluster(num_sets=3, replication_factor=2), client_id=1
+    )
+    tmap = TangoMap(runtime, oid=1)
+    keys = iter(range(1 << 30))
+
+    def tx_commit():
+        runtime.begin_tx()
+        tmap.put(f"k{next(keys)}", 1)
+        assert runtime.end_tx()
+
+    return _timed_loop(tx_commit, window)
+
+
+def scenario_sequencer_grant(window: float) -> dict:
+    cluster = CorfuCluster(num_sets=3, replication_factor=2)
+    client = cluster.client()
+    return _timed_loop(lambda: client.check(fast=True), window)
+
+
+def scenario_fig2_sequencer(window: float) -> dict:
+    """Figure 2 shape on the calibrated model: plateau throughput."""
+    rows = fig2_sequencer(
+        client_counts=(1, 8, 40), duration=window, warmup=window / 4
+    )
+    return {
+        "clients": [r["clients"] for r in rows],
+        "kreq_per_sec": [round(r["kreq_per_sec"], 1) for r in rows],
+        "plateau_kreq_per_sec": round(rows[-1]["kreq_per_sec"], 1),
+    }
+
+
+SCENARIOS = [
+    ("corfu_append", scenario_corfu_append),
+    ("corfu_append_batch", scenario_corfu_append_batch),
+    ("corfu_read", scenario_corfu_read),
+    ("corfu_read_many", scenario_corfu_read_many),
+    ("stream_append_sync", scenario_stream_append_sync),
+    ("register_write_read", scenario_register_write_read),
+    ("map_tx_commit", scenario_map_tx_commit),
+    ("sequencer_grant", scenario_sequencer_grant),
+    ("fig2_sequencer", scenario_fig2_sequencer),
+]
+
+
+def run(window: float) -> dict:
+    lock_monitor = None
+    if os.environ.get("REPRO_LOCKCHECK") == "1":
+        from repro.tools import lockcheck
+
+        lock_monitor = lockcheck.install()
+    results = {}
+    for name, scenario in SCENARIOS:
+        print(f"perf_gate: {name} ...", file=sys.stderr)
+        results[name] = scenario(window)
+    payload = {
+        "version": 1,
+        "window_s": window,
+        "python": sys.version.split()[0],
+        "lockcheck": lock_monitor is not None,
+        "scenarios": results,
+    }
+    if lock_monitor is not None:
+        lock_monitor.assert_acyclic()
+        payload["lock_order_edges"] = [
+            list(edge) for edge in lock_monitor.edges()
+        ]
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_gate", description="Throughput gate over the real code paths."
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="short windows (CI-sized)"
+    )
+    parser.add_argument(
+        "--window", type=float, default=None, help="seconds per scenario"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_appends.json",
+        help="output path (default: BENCH_appends.json)",
+    )
+    args = parser.parse_args(argv)
+    window = args.window if args.window is not None else (0.05 if args.quick else 0.25)
+    payload = run(window)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name, result in payload["scenarios"].items():
+        ops = result.get("ops_per_sec")
+        if ops is not None:
+            print(f"  {name:>22}: {ops:>12,.0f} ops/s")
+        else:
+            print(f"  {name:>22}: plateau {result['plateau_kreq_per_sec']} kreq/s")
+    print(f"perf_gate: wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,14 @@ _MAX_RETRIES = 32
 #: (the failure-detector threshold).
 _TIMEOUT_FAILOVER = 4
 
+#: Second failure-detector signal: a node that stays *silent* (no
+#: deliveries at all) while the rest of the cluster completes this many
+#: RPCs is partitioned or dead, however rarely we manage to probe it.
+#: Catches a cut-off chain tail behind a lossy chain head, where each
+#: shared-budget retry burns on the lossy-but-live hops and the streak
+#: above accrues too slowly.
+_SILENT_PROGRESS_FAILOVER = 12
+
 
 class CorfuClient:
     """One client's handle on the shared log."""
@@ -77,9 +85,11 @@ class CorfuClient:
         self._proxies: Dict[Tuple[str, str], object] = {}
         self._chain = ChainReplicator(self._storage_rpc)
         # node name -> (consecutive-timeout streak, delivered-RPC count
-        # at the last timeout) for failure detection: only a *silent*
-        # node builds a streak.
-        self._timeout_streaks: Dict[str, Tuple[int, int]] = {}
+        # at the last timeout, cluster-wide delivered count when the
+        # node went silent) for failure detection: only a *silent* node
+        # builds a streak, and cluster-wide progress during its silence
+        # is the second down-signal.
+        self._timeout_streaks: Dict[str, Tuple[int, int, int]] = {}
         # Counters for tests / the performance model. A client is shared
         # across application threads, so the read-modify-write bumps go
         # through one lock; readers may still access the plain ints.
@@ -130,11 +140,6 @@ class CorfuClient:
         savings of the batched read path are visible per node.
         """
         return self._net.endpoint_stats()
-
-    def _count(self, counter: str, amount: int = 1) -> None:
-        """Thread-safe bump of one of the public perf counters."""
-        with self._counter_lock:
-            setattr(self, counter, getattr(self, counter) + amount)
 
     # -- trim observers ------------------------------------------------------
 
@@ -208,18 +213,36 @@ class CorfuClient:
         # ejecting a node that is demonstrably executing calls would let
         # a lossy network shrink healthy chains one retry at a time.
         delivered = self._net.stats_for(exc.node).rpcs
-        streak, seen = self._timeout_streaks.get(exc.node, (0, -1))
-        if delivered != seen:
-            streak = 0
-        streak += 1
-        self._timeout_streaks[exc.node] = (streak, delivered)
-        if streak >= _TIMEOUT_FAILOVER:
-            del self._timeout_streaks[exc.node]
+        cluster_delivered = sum(
+            s["rpcs"] for s in self._net.endpoint_stats().values()
+        )
+        with self._counter_lock:
+            streak, seen, progress_base = self._timeout_streaks.get(
+                exc.node, (0, -1, cluster_delivered)
+            )
+            if delivered != seen:
+                streak = 0
+                progress_base = cluster_delivered
+            streak += 1
+            self._timeout_streaks[exc.node] = (streak, delivered, progress_base)
+            # Down-signals: (a) enough consecutive silent timeouts, or
+            # (b) the node stayed silent across substantial cluster-wide
+            # progress — a partitioned chain tail behind lossy live hops
+            # gets probed too rarely for (a) alone to ever trip.
+            failover = streak >= _TIMEOUT_FAILOVER or (
+                streak > 1
+                and cluster_delivered - progress_base
+                >= _SILENT_PROGRESS_FAILOVER
+            )
+            if failover:
+                del self._timeout_streaks[exc.node]
+        # Reconfiguration drives RPCs of its own; never under the lock.
+        if failover:
             self._handle_node_down(NodeDownError(exc.node))
 
     def _note_success(self) -> None:
         """An RPC round completed: clear the failure-detector streaks."""
-        if self._timeout_streaks:
+        with self._counter_lock:
             self._timeout_streaks.clear()
 
     # -- append path ---------------------------------------------------------
@@ -271,7 +294,8 @@ class CorfuClient:
         entry = LogEntry(headers=headers, payload=payload)
         raw = entry.encode(offset, self._cluster.k, self._cluster.max_streams)
         self._complete_write(offset, raw)
-        self._count("appends")
+        with self._counter_lock:
+            self.appends += 1
         return offset
 
     # -- batched append path -------------------------------------------------
@@ -367,7 +391,8 @@ class CorfuClient:
                 # preserved (the junk-filled offset is skipped by
                 # walkers), only the position moves.
                 offset = self.append(payload, stream_ids)
-            self._count("appends")
+            with self._counter_lock:
+                self.appends += 1
             offsets.append(offset)
         return offsets
 
@@ -424,7 +449,8 @@ class CorfuClient:
             except RpcTimeout as exc:
                 self._handle_timeout(exc, attempt)
                 continue
-            self._count("reads")
+            with self._counter_lock:
+                self.reads += 1
             self._note_success()
             return LogEntry.decode(raw, offset, self._cluster.k)
         raise RetriesExhaustedError("read", _MAX_RETRIES)
@@ -611,7 +637,8 @@ class CorfuClient:
             rset, address = proj.map_offset(offset)
             try:
                 self._chain.write(rset, address, junk, proj.epoch)
-                self._count("fills")
+                with self._counter_lock:
+                    self.fills += 1
                 self._note_success()
                 return
             except WrittenError:

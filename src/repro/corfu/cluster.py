@@ -99,10 +99,14 @@ class CorfuCluster:
         """Look up a sequencer (defaults to the current projection's)."""
         if name is None:
             name = self.projection.sequencer
-        seq = self._sequencers.get(name)
-        if seq is None:
-            seq = Sequencer(name, k=self.k)
-            self._sequencers[name] = seq
+        # Lazy creation happens under the lock: two clients racing to
+        # reach a fresh sequencer after failover must agree on one
+        # instance, or grants from the loser's copy duplicate offsets.
+        with self._lock:
+            seq = self._sequencers.get(name)
+            if seq is None:
+                seq = Sequencer(name, k=self.k)
+                self._sequencers[name] = seq
         return seq
 
     def client(self, name: Optional[str] = None) -> "CorfuClient":
@@ -135,7 +139,11 @@ class CorfuCluster:
         """Crash a sequencer, losing its soft state."""
         if name is None:
             name = self.projection.sequencer
-        self._sequencers[name].crash()
+        with self._lock:
+            seq = self._sequencers[name]
+        # Crash outside the membership lock: Sequencer.crash takes the
+        # sequencer's own lock, and the cluster lock stays a leaf.
+        seq.crash()
 
     # -- introspection ------------------------------------------------------
 

@@ -47,8 +47,11 @@ class DurableFlashUnit(FlashUnit):
     # -- persistence ---------------------------------------------------------
 
     def _append_frame(self, op: int, epoch: int, address: int, data: bytes) -> None:
-        self._file.write(_FRAME.pack(op, epoch, address, len(data)))
-        self._file.write(data)
+        # Deliberately holds the unit lock across file I/O: the frame
+        # order must match the apply order, and write-once semantics
+        # bound each critical section to a single small frame.
+        self._file.write(_FRAME.pack(op, epoch, address, len(data)))  # tangolint: disable=TL012
+        self._file.write(data)  # tangolint: disable=TL012
         self._file.flush()
         os.fsync(self._file.fileno())
 
@@ -94,24 +97,33 @@ class DurableFlashUnit(FlashUnit):
         """Release the file handle (the unit becomes unusable)."""
         self._file.close()
 
-    # -- overridden mutations (persist, then apply) -----------------------------
+    # -- overridden mutations (apply, then persist; atomically) ---------------
+
+    # Each override holds the unit lock (an RLock, so the inherited
+    # mutation can re-enter it) across apply *and* persist: otherwise two
+    # threads' frames can interleave mid-record in the file, or land in
+    # an order that disagrees with the in-memory apply order.
 
     def write(self, address: int, data: bytes, epoch: int) -> None:
-        super().write(address, data, epoch)
-        self._append_frame(_OP_WRITE, epoch, address, data)
+        with self._lock:
+            super().write(address, data, epoch)
+            self._append_frame(_OP_WRITE, epoch, address, data)
 
     def trim(self, address: int, epoch: int) -> None:
-        super().trim(address, epoch)
-        self._append_frame(_OP_TRIM, epoch, address, b"")
+        with self._lock:
+            super().trim(address, epoch)
+            self._append_frame(_OP_TRIM, epoch, address, b"")
 
     def trim_prefix(self, address: int, epoch: int) -> None:
-        super().trim_prefix(address, epoch)
-        self._append_frame(_OP_TRIM_PREFIX, epoch, address, b"")
+        with self._lock:
+            super().trim_prefix(address, epoch)
+            self._append_frame(_OP_TRIM_PREFIX, epoch, address, b"")
 
     def seal(self, epoch: int) -> int:
-        tail = super().seal(epoch)
-        self._append_frame(_OP_SEAL, epoch, 0, b"")
-        return tail
+        with self._lock:
+            tail = super().seal(epoch)
+            self._append_frame(_OP_SEAL, epoch, 0, b"")
+            return tail
 
 
 def open_durable_cluster(data_dir: str, **kwargs):

@@ -60,11 +60,13 @@ class Sequencer:
 
     @property
     def is_down(self) -> bool:
-        return self._down
+        with self._lock:
+            return self._down
 
     @property
     def epoch(self) -> int:
-        return self._epoch
+        with self._lock:
+            return self._epoch
 
     def _check(self, epoch: int) -> None:
         if self._down:

@@ -56,20 +56,29 @@ class FlashUnit:
     # -- lifecycle ----------------------------------------------------------
 
     def crash(self) -> None:
-        """Take the unit down; subsequent operations raise NodeDownError."""
-        self._down = True
+        """Take the unit down; subsequent operations raise NodeDownError.
+
+        Taken under the lock so an in-flight data-path operation from
+        another thread observes either the live unit or the crash,
+        never a page write that lands after the "crash".
+        """
+        with self._lock:
+            self._down = True
 
     def recover(self) -> None:
         """Bring the unit back up with its (non-volatile) contents intact."""
-        self._down = False
+        with self._lock:
+            self._down = False
 
     @property
     def is_down(self) -> bool:
-        return self._down
+        with self._lock:
+            return self._down
 
     @property
     def epoch(self) -> int:
-        return self._epoch
+        with self._lock:
+            return self._epoch
 
     def _check_up(self) -> None:
         if self._down:
@@ -218,8 +227,9 @@ class FlashUnit:
 
     def written_addresses(self):
         """Iterate over currently-held addresses (for rebuild/scan paths)."""
-        self._check_up()
-        return sorted(self._pages)
+        with self._lock:
+            self._check_up()
+            return sorted(self._pages)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "down" if self._down else f"epoch={self._epoch}"

@@ -148,15 +148,15 @@ class FaultyTransport(Transport):
             if self.latency_ms:
                 self.simulated_latency_ms += self._rng.uniform(0, self.latency_ms)
             if frozenset((source, target)) in self._partitions:
-                stats.timeouts += 1
+                stats.note_timeout()
                 raise RpcTimeout(target, op)
             if self.drop_request and self._rng.random() < self.drop_request:
-                stats.drops += 1
-                stats.timeouts += 1
+                stats.note_drop()
+                stats.note_timeout()
                 raise RpcTimeout(target, op)
             if self.reorder and self._rng.random() < self.reorder:
                 self._defer_locked(target, op, resolve, args, kwargs)
-                stats.timeouts += 1
+                stats.note_timeout()
                 raise RpcTimeout(target, op)
             stats.note_delivery(op, args)
             result = getattr(resolve(), op)(*args, **kwargs)
@@ -164,7 +164,7 @@ class FaultyTransport(Transport):
             # completed: a duplicate of a rejected request is a no-op,
             # and there is no response to lose.
             if self.duplicate and self._rng.random() < self.duplicate:
-                stats.duplicates += 1
+                stats.note_duplicate()
                 stats.note_delivery(op, args)
                 try:
                     getattr(resolve(), op)(*args, **kwargs)
@@ -175,8 +175,8 @@ class FaultyTransport(Transport):
                     # is the one the caller sees.
                     pass
             if self.drop_response and self._rng.random() < self.drop_response:
-                stats.drops += 1
-                stats.timeouts += 1
+                stats.note_drop()
+                stats.note_timeout()
                 raise RpcTimeout(target, op)
             return result
 
@@ -199,7 +199,7 @@ class FaultyTransport(Transport):
     ) -> None:
         due = self._clock + self._rng.randint(1, self.max_delay)
         self._defer_seq += 1
-        self.stats_for(target).reordered += 1
+        self.stats_for(target).note_reordered()
 
         def deliver() -> None:
             self.stats_for(target).note_delivery(op, args)

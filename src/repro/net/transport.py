@@ -11,10 +11,20 @@ Clients never hold server objects directly; they hold
 :class:`RpcProxy` handles obtained from the transport. A proxy forwards
 method calls through ``Transport.call`` and passes non-callable
 attributes straight through (local metadata, never an RPC).
+
+Concurrency: a transport is shared by every client thread of a
+deployment, so counter updates are read-modify-write races unless
+locked. :class:`EndpointStats` owns a lock for its counters (all bumps
+go through ``note_*`` methods; TL010 enforces this), and the transport
+guards its endpoint map so ``endpoint_stats`` can snapshot while
+another thread is creating an endpoint's entry. Readers of a single
+counter attribute (e.g. the failure detector's ``stats.rpcs``) take a
+plain int read, which is atomic under the GIL.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict
 
 
@@ -34,7 +44,7 @@ class EndpointStats:
 
     __slots__ = (
         "rpcs", "retries", "timeouts", "duplicates", "drops", "reordered",
-        "batch_rpcs", "batch_offsets",
+        "batch_rpcs", "batch_offsets", "_lock",
     )
 
     def __init__(self) -> None:
@@ -46,28 +56,52 @@ class EndpointStats:
         self.reordered = 0
         self.batch_rpcs = 0
         self.batch_offsets = 0
+        self._lock = threading.Lock()
 
     def note_delivery(self, op: str, args: tuple) -> None:
         """Record one delivered call (the server executed it)."""
-        self.rpcs += 1
-        if op == "read_many" and args:
-            self.batch_rpcs += 1
-            try:
-                self.batch_offsets += len(args[0])
-            except TypeError:  # pragma: no cover - malformed batch arg
-                pass
+        with self._lock:
+            self.rpcs += 1
+            if op == "read_many" and args:
+                self.batch_rpcs += 1
+                try:
+                    self.batch_offsets += len(args[0])
+                except TypeError:  # pragma: no cover - malformed batch arg
+                    pass
+
+    def note_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def note_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def note_drop(self) -> None:
+        with self._lock:
+            self.drops += 1
+
+    def note_duplicate(self) -> None:
+        with self._lock:
+            self.duplicates += 1
+
+    def note_reordered(self) -> None:
+        with self._lock:
+            self.reordered += 1
 
     def to_dict(self) -> Dict[str, int]:
-        return {
-            "rpcs": self.rpcs,
-            "retries": self.retries,
-            "timeouts": self.timeouts,
-            "duplicates": self.duplicates,
-            "drops": self.drops,
-            "reordered": self.reordered,
-            "batch_rpcs": self.batch_rpcs,
-            "batch_offsets": self.batch_offsets,
-        }
+        """Consistent snapshot (taken under the counter lock)."""
+        with self._lock:
+            return {
+                "rpcs": self.rpcs,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "duplicates": self.duplicates,
+                "drops": self.drops,
+                "reordered": self.reordered,
+                "batch_rpcs": self.batch_rpcs,
+                "batch_offsets": self.batch_offsets,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<EndpointStats {self.to_dict()}>"
@@ -117,6 +151,9 @@ class Transport:
 
     def __init__(self) -> None:
         self._stats: Dict[str, EndpointStats] = {}
+        # Guards the endpoint map itself (entry creation vs snapshot
+        # iteration); each EndpointStats guards its own counters.
+        self._stats_lock = threading.Lock()
 
     # -- delivery (subclass responsibility) ---------------------------------
 
@@ -145,21 +182,22 @@ class Transport:
     # -- observability ------------------------------------------------------
 
     def stats_for(self, target: str) -> EndpointStats:
-        stats = self._stats.get(target)
-        if stats is None:
-            stats = self._stats.setdefault(target, EndpointStats())
-        return stats
+        with self._stats_lock:
+            stats = self._stats.get(target)
+            if stats is None:
+                stats = EndpointStats()
+                self._stats[target] = stats
+            return stats
 
     def record_retry(self, target: str) -> None:
         """Clients report each retry decision so operators can see them."""
-        self.stats_for(target).retries += 1
+        self.stats_for(target).note_retry()
 
     def endpoint_stats(self) -> Dict[str, Dict[str, int]]:
         """Snapshot of per-endpoint counters (fresh dicts, safe to mutate)."""
-        return {
-            target: stats.to_dict()
-            for target, stats in sorted(self._stats.items())
-        }
+        with self._stats_lock:
+            targets = sorted(self._stats.items())
+        return {target: stats.to_dict() for target, stats in targets}
 
 
 class LoopbackTransport(Transport):

@@ -155,10 +155,12 @@ class StreamClient:
                 self._streams[stream_id] = _StreamState(stream_id)
 
     def is_open(self, stream_id: int) -> bool:
-        return stream_id in self._streams
+        with self._lock:
+            return stream_id in self._streams
 
     def open_streams(self) -> Tuple[int, ...]:
-        return tuple(self._streams)
+        with self._lock:
+            return tuple(self._streams)
 
     def _state(self, stream_id: int) -> _StreamState:
         try:

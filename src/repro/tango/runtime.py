@@ -89,7 +89,7 @@ class TangoRuntime:
         if not isinstance(streams, StreamClient):
             # Convenience: accept a CorfuCluster directly.
             streams = StreamClient(streams.client())
-        self._streams = streams
+        self._streams: StreamClient = streams
         self.name = name
         if client_id is None:
             client_id = default_source().client_id()
@@ -212,14 +212,17 @@ class TangoRuntime:
                 self._streams.reset(oid)
 
     def is_hosted(self, oid: int) -> bool:
-        return oid in self._objects
+        with self._play_lock:
+            return oid in self._objects
 
     def get_object(self, oid: int):
         """The hosted view of *oid*, or None."""
-        return self._objects.get(oid)
+        with self._play_lock:
+            return self._objects.get(oid)
 
     def hosted_oids(self) -> Tuple[int, ...]:
-        return tuple(self._objects)
+        with self._play_lock:
+            return tuple(self._objects)
 
     def _maybe_load_checkpoint(self, oid: int, obj) -> None:
         """Find and load the newest checkpoint record in *oid*'s stream.
@@ -317,16 +320,17 @@ class TangoRuntime:
         """
         ctx = self._current_tx()
         if ctx is not None:
-            if oid not in self._objects:
-                raise RemoteReadError(oid)
-            ctx.record_read(oid, key, self._versions.get(oid, key))
+            with self._play_lock:
+                if oid not in self._objects:
+                    raise RemoteReadError(oid)
+                ctx.record_read(oid, key, self._versions.get(oid, key))
             return
-        if oid not in self._objects:
-            raise UnknownObjectError(f"object {oid} has no local view")
         # Read-your-writes inside a batch scope: flush buffered updates
         # before placing the read marker.
         self._flush_batch()
         with self._play_lock:
+            if oid not in self._objects:
+                raise UnknownObjectError(f"object {oid} has no local view")
             markers = self._streams.sync_many(self.hosted_oids())
             marker = markers.get(oid, NO_VERSION)
             if upto is not None:
@@ -372,8 +376,9 @@ class TangoRuntime:
         if ctx.is_read_only:
             return self._end_read_only(ctx, allow_stale)
         if ctx.is_write_only:
-            self._append_commit(ctx)
-            self.stats["commits"] += 1
+            with self._play_lock:
+                self._append_commit(ctx)
+                self.stats["commits"] += 1
             return True
         return self._end_read_write(ctx)
 
@@ -390,9 +395,9 @@ class TangoRuntime:
                 self._versions.is_stale(e.oid, e.key, e.version)
                 for e in ctx.read_set
             )
-        self.stats["commits" if ok else "aborts"] += 1
-        if ok:
-            self.stats["read_only_commits"] += 1
+            self.stats["commits" if ok else "aborts"] += 1
+            if ok:
+                self.stats["read_only_commits"] += 1
         return ok
 
     def _end_read_write(self, ctx: TxContext) -> bool:
@@ -583,14 +588,15 @@ class TangoRuntime:
         crashed between its commit and decision records. Returns False
         if this client has not decided the transaction.
         """
-        outcome = self._decided.get(tx_id)
-        if outcome is None:
-            return False
-        pending = self._pending_records.get(tx_id)
-        if pending is None:
-            return False
-        _offset, record = pending
-        self._append_decision(tx_id, outcome, record)
+        with self._play_lock:
+            outcome = self._decided.get(tx_id)
+            if outcome is None:
+                return False
+            pending = self._pending_records.get(tx_id)
+            if pending is None:
+                return False
+            _offset, record = pending
+            self._append_decision(tx_id, outcome, record)
         return True
 
     # ------------------------------------------------------------------
@@ -599,14 +605,11 @@ class TangoRuntime:
 
     def checkpoint(self, oid: int) -> int:
         """Store a snapshot of *oid*'s view in the log; returns its offset."""
-        obj = self._objects.get(oid)
-        if obj is None:
-            raise UnknownObjectError(f"object {oid} has no local view")
-        self._play_lock.acquire()
-        try:
+        with self._play_lock:
+            obj = self._objects.get(oid)
+            if obj is None:
+                raise UnknownObjectError(f"object {oid} has no local view")
             return self._checkpoint_locked(oid, obj)
-        finally:
-            self._play_lock.release()
 
     def _checkpoint_locked(self, oid: int, obj) -> int:
         covers = self._streams.position(oid)
@@ -1046,21 +1049,23 @@ class TangoRuntime:
         means some generator is slow or dead — see
         :meth:`publish_decision`), and the cumulative statistics.
         """
-        return {
-            "name": self.name,
-            "hosted_oids": sorted(self._objects),
-            "watermark": self._watermark,
-            "pending_txes": len(self._pending),
-            "awaiting_decisions": sorted(self._awaiting),
-            "blocked_streams": sorted(self._blocked_streams),
-            "deferred_entries": len(self._deferred),
-            "decided_txes": len(self._decided),
-            "open_transaction": self._current_tx() is not None,
-            "stats": dict(self.stats),
-            # Per-endpoint transport counters (rpcs, retries, timeouts,
-            # duplicates, drops, reordered) for the cluster connection.
-            "net": self._streams.corfu.net_stats(),
-        }
+        with self._play_lock:
+            return {
+                "name": self.name,
+                "hosted_oids": sorted(self._objects),
+                "watermark": self._watermark,
+                "pending_txes": len(self._pending),
+                "awaiting_decisions": sorted(self._awaiting),
+                "blocked_streams": sorted(self._blocked_streams),
+                "deferred_entries": len(self._deferred),
+                "decided_txes": len(self._decided),
+                "open_transaction": self._current_tx() is not None,
+                "stats": dict(self.stats),
+                # Per-endpoint transport counters (rpcs, retries,
+                # timeouts, duplicates, drops, reordered) for the
+                # cluster connection.
+                "net": self._streams.corfu.net_stats(),
+            }
 
     @property
     def streams(self) -> StreamClient:

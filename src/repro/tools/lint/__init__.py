@@ -3,7 +3,7 @@
 The papers this repo reproduces rest on disciplines Python cannot
 enforce at runtime — apply-only view mutation, deterministic replay,
 the write-once/seal storage protocol. tangolint enforces them
-statically with an AST rule catalog (TL001–TL008); see ``docs/LINT.md``
+statically with an AST rule catalog (TL001–TL013); see ``docs/LINT.md``
 for the catalog and ``python -m repro.tools.lint --help`` for the CLI.
 
 Programmatic use::

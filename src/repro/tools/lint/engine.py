@@ -155,6 +155,31 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """A rule that reasons about the whole linted program at once.
+
+    Most rules are local: one file in, findings out. A few invariants —
+    the lock-acquisition-order graph being the canonical example — only
+    exist at the level of the *program*: an edge learned in one module
+    can close a cycle opened in another. Subclasses implement
+    :meth:`check_program`, which receives every parsed module of the
+    run; the engine calls it once per invocation and routes each
+    finding's suppression check to the module it landed in.
+
+    ``check`` defaults to treating a single module as a complete
+    program, so per-file entry points (``lint_file``, fixture tests)
+    keep working unchanged.
+    """
+
+    def check_program(
+        self, modules: Sequence["ParsedModule"]
+    ) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def check(self, module: "ParsedModule") -> Iterable[Diagnostic]:
+        return self.check_program((module,))
+
+
 def parse_module(path: str) -> Tuple[Optional[ParsedModule], Optional[Diagnostic]]:
     """Parse *path*; returns (module, None) or (None, TL000 diagnostic)."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -203,9 +228,30 @@ def lint_paths(
     if select is not None:
         wanted = set(select)
         rules = [r for r in rules if r.rule_id in wanted]
+    file_rules = [r for r in rules if not isinstance(r, ProgramRule)]
+    program_rules = [r for r in rules if isinstance(r, ProgramRule)]
     findings: List[Diagnostic] = []
+    modules: List[ParsedModule] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules))
+        module, parse_error = parse_module(path)
+        if module is None:
+            if parse_error is not None:
+                findings.append(parse_error)
+            continue
+        modules.append(module)
+        for rule in file_rules:
+            for diagnostic in rule.check(module):
+                if not module.is_suppressed(diagnostic.rule_id, diagnostic.line):
+                    findings.append(diagnostic)
+    if program_rules and modules:
+        by_path = {m.path: m for m in modules}
+        for rule in program_rules:
+            for diagnostic in rule.check_program(modules):
+                module = by_path.get(diagnostic.path)
+                if module is None or not module.is_suppressed(
+                    diagnostic.rule_id, diagnostic.line
+                ):
+                    findings.append(diagnostic)
     return sorted(findings)
 
 

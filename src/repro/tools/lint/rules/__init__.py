@@ -10,6 +10,12 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.tools.lint.engine import Rule
+from repro.tools.lint.rules.concurrency import (
+    GuardedAttributeDiscipline,
+    LockLifecycleDiscipline,
+    LockOrderAcyclicity,
+    NoBlockingUnderLock,
+)
 from repro.tools.lint.rules.corfu import EpochCheckBeforeMutation, WriteOncePages
 from repro.tools.lint.rules.determinism import NoReplayNondeterminism
 from repro.tools.lint.rules.hygiene import (
@@ -31,6 +37,10 @@ ALL_RULES: Tuple[Rule, ...] = (
     ExplicitLogEncoding(),    # TL007
     NoMutableDefaults(),      # TL008
     RpcErrorDiscipline(),     # TL009
+    GuardedAttributeDiscipline(),  # TL010
+    LockOrderAcyclicity(),    # TL011
+    NoBlockingUnderLock(),    # TL012
+    LockLifecycleDiscipline(),  # TL013
 )
 
 

@@ -1,0 +1,8 @@
+"""``python -m repro.tools.lockcheck`` entry point."""
+
+import sys
+
+from repro.tools.lockcheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

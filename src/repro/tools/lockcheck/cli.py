@@ -1,0 +1,119 @@
+"""The repro-lockcheck command line: print the inferred lock hierarchy.
+
+``python -m repro.tools.lockcheck [--json] paths...`` renders the
+whole-program lock-acquisition-order graph that tangolint's TL011 rule
+checks: one node per lock attribute (``Class.attr``), one edge per
+witnessed acquire-while-holding, plus the guarded attributes each lock
+protects and a topological order when the graph is acyclic. Exits 0
+when the hierarchy is acyclic, 1 when any cycle exists, 2 on usage
+errors. ``docs/CONCURRENCY.md`` records the expected output for this
+repo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.tools.discovery import iter_python_files
+from repro.tools.lint.engine import parse_module
+from repro.tools.lint.rules.concurrency import LockGraph, build_lock_graph
+
+
+def _default_paths() -> List[str]:
+    candidate = os.path.join("src", "repro")
+    return [candidate] if os.path.isdir(candidate) else ["."]
+
+
+def _load_graph(paths: Sequence[str]) -> LockGraph:
+    modules = []
+    for path in iter_python_files(paths):
+        module, error = parse_module(path)
+        if module is not None:
+            modules.append(module)
+        elif error is not None:
+            print(f"lockcheck: skipping unparsable {path}", file=sys.stderr)
+    return build_lock_graph(modules)
+
+
+def render_text(graph: LockGraph) -> str:
+    lines = ["lockcheck: static lock hierarchy", ""]
+    if not graph.nodes:
+        lines.append("  (no locks found)")
+        return "\n".join(lines)
+    lines.append("locks:")
+    for node in sorted(graph.nodes):
+        path, line = graph.nodes[node]
+        where = f"{path}:{line}" if path else "(inherited)"
+        lines.append(f"  {node}  [{where}]")
+        guards = sorted(graph.guards.get(node, ()))
+        if guards:
+            lines.append(f"      guards: {', '.join(guards)}")
+    if graph.edges:
+        lines.append("")
+        lines.append("order edges (held -> acquired):")
+        for (source, target) in sorted(graph.edges):
+            path, line = graph.edges[(source, target)]
+            lines.append(f"  {source} -> {target}  [{path}:{line}]")
+    cycles = graph.cycles()
+    lines.append("")
+    if cycles:
+        lines.append("CYCLES (potential deadlocks):")
+        for cycle in cycles:
+            lines.append("  " + " -> ".join(cycle + [cycle[0]]))
+    else:
+        order = graph.topological_order() or []
+        lines.append("acquisition order (safe): " + " < ".join(order))
+    return "\n".join(lines)
+
+
+def render_graph_json(graph: LockGraph) -> str:
+    cycles = graph.cycles()
+    payload = {
+        "version": 1,
+        "nodes": {
+            node: {
+                "path": path,
+                "line": line,
+                "guards": sorted(graph.guards.get(node, ())),
+            }
+            for node, (path, line) in sorted(graph.nodes.items())
+        },
+        "edges": [
+            {"from": source, "to": target, "path": path, "line": line}
+            for (source, target), (path, line) in sorted(graph.edges.items())
+        ],
+        "cycles": cycles,
+        "topological_order": graph.topological_order(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lockcheck",
+        description=(
+            "Print the statically inferred lock-acquisition hierarchy "
+            "(the graph TL011 checks) and fail when it has a cycle."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths or _default_paths()
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"lockcheck: no such path: {path}", file=sys.stderr)
+            return 2
+    graph = _load_graph(paths)
+    print(render_graph_json(graph) if args.json else render_text(graph))
+    return 1 if graph.cycles() else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

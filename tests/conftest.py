@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import os
 
 import pytest
 
@@ -45,3 +46,22 @@ def make_client(cluster, make_runtime):
         return runtime, TangoDirectory(runtime)
 
     return factory
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockcheck_session():
+    """Opt-in runtime lock-order sanitizer for the whole session.
+
+    ``REPRO_LOCKCHECK=1 pytest`` wraps every lock the repro code
+    creates; a witnessed lock-order cycle anywhere in the run fails
+    the session at teardown (see docs/CONCURRENCY.md).
+    """
+    if os.environ.get("REPRO_LOCKCHECK") != "1":
+        yield
+        return
+    from repro.tools import lockcheck
+
+    monitor = lockcheck.install()
+    yield
+    lockcheck.uninstall()
+    monitor.assert_acyclic()

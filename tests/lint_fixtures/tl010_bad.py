@@ -1,0 +1,16 @@
+"""TL010 bad: guarded attribute read without holding its lock."""
+
+import threading
+
+
+class GuardedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1  # establishes the guard
+
+    def peek(self):
+        return self._count  # unlocked read of a guarded attribute

@@ -1,0 +1,21 @@
+"""TL010 good: every access to the guarded attribute holds the lock."""
+
+import threading
+
+
+class SteadyGuardedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        with self._lock:
+            return self._count
+
+    def _bump_locked(self):
+        # The *_locked suffix asserts the caller already holds the lock.
+        self._count += 1

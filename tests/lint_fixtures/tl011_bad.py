@@ -1,0 +1,19 @@
+"""TL011 bad: two locks acquired in opposite orders (ABBA deadlock)."""
+
+import threading
+
+
+class AbbaPair:
+    def __init__(self):
+        self._alpha = threading.Lock()
+        self._beta = threading.Lock()
+
+    def forward(self):
+        with self._alpha:
+            with self._beta:
+                pass
+
+    def backward(self):
+        with self._beta:
+            with self._alpha:
+                pass

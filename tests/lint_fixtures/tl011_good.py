@@ -1,0 +1,19 @@
+"""TL011 good: both paths honor the same lock order (alpha, then beta)."""
+
+import threading
+
+
+class OrderedPair:
+    def __init__(self):
+        self._alpha = threading.Lock()
+        self._beta = threading.Lock()
+
+    def forward(self):
+        with self._alpha:
+            with self._beta:
+                pass
+
+    def also_forward(self):
+        with self._alpha:
+            with self._beta:
+                pass

@@ -1,0 +1,19 @@
+"""TL012 bad: blocking calls inside a critical section."""
+
+import threading
+import time
+
+
+class SleepyWorker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+
+    def drain(self):
+        with self._lock:
+            time.sleep(0.01)  # every contender waits out the sleep
+
+    def escalate(self):
+        with self._lock:
+            self._aux.acquire()  # blocking acquire under a held lock
+            self._aux.release()

@@ -1,0 +1,21 @@
+"""TL012 good: blocking work happens outside the critical section."""
+
+import threading
+import time
+
+
+class PatientWorker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = 0
+
+    def drain(self):
+        with self._lock:
+            self._pending += 1
+        time.sleep(0.0)  # sleep after releasing the lock
+
+    def try_escalate(self):
+        acquired = self._lock.acquire(blocking=False)
+        if acquired:
+            self._lock.release()
+        return acquired

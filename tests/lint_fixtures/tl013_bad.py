@@ -1,0 +1,14 @@
+"""TL013 bad: locks created outside __init__ or reassigned later."""
+
+import threading
+
+
+class ResettingQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def reset(self):
+        self._lock = threading.Lock()  # reassigned: old holders race new ones
+
+    def grow(self):
+        self._spare = threading.Lock()  # created outside __init__

@@ -1,0 +1,17 @@
+"""TL013 good: every lock is created exactly once, in __init__."""
+
+import threading
+
+
+class StableQueue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._items)

@@ -24,7 +24,7 @@ def test_source_tree_exists():
 def test_full_rule_catalog_is_registered():
     ids = [rule.rule_id for rule in ALL_RULES]
     assert ids == sorted(ids)
-    assert ids == [f"TL{n:03d}" for n in range(1, 10)]
+    assert ids == [f"TL{n:03d}" for n in range(1, 14)]
 
 
 def test_src_repro_is_lint_clean():

@@ -1,0 +1,188 @@
+"""Runtime lock-order sanitizer tests.
+
+The ABBA scenario is checked at BOTH layers here: tangolint's TL011
+flags the fixture statically, and a live run of the same shape through
+:class:`InstrumentedLock` is caught by the monitor — without the test
+ever actually deadlocking (single-threaded interleaving produces the
+same order edges two racing threads would).
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.tools import lockcheck
+from repro.tools.lint import lint_paths
+from repro.tools.lockcheck import InstrumentedLock, LockMonitor
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+
+
+def make_pair(monitor):
+    a = InstrumentedLock(label="Pair._alpha", monitor=monitor)
+    b = InstrumentedLock(label="Pair._beta", monitor=monitor)
+    return a, b
+
+
+# ---------------------------------------------------------------------------
+# the ABBA scenario, static and dynamic
+# ---------------------------------------------------------------------------
+
+
+def test_abba_fixture_fires_tl011_statically():
+    path = os.path.join(FIXTURES, "tl011_bad.py")
+    findings = lint_paths([path], select=["TL011"])
+    assert [d.rule_id for d in findings] == ["TL011"]
+    assert "AbbaPair._alpha" in findings[0].message
+
+
+def test_abba_order_is_caught_at_runtime():
+    monitor = LockMonitor()
+    alpha, beta = make_pair(monitor)
+    with alpha:
+        with beta:
+            pass
+    with beta:
+        with alpha:  # closes the alpha -> beta -> alpha cycle
+            pass
+    violations = monitor.violations()
+    assert len(violations) == 1
+    assert violations[0]["kind"] == "lock-order-cycle"
+    cycle = violations[0]["cycle"]
+    assert set(cycle) == {"Pair._alpha", "Pair._beta"}
+    with pytest.raises(AssertionError, match="lock-order"):
+        monitor.assert_acyclic()
+
+
+def test_abba_across_two_threads_is_caught():
+    monitor = LockMonitor()
+    alpha, beta = make_pair(monitor)
+    first_done = threading.Event()
+
+    def forward():
+        with alpha:
+            with beta:
+                pass
+        first_done.set()
+
+    def backward():
+        first_done.wait()
+        with beta:
+            with alpha:
+                pass
+
+    threads = [
+        threading.Thread(target=forward),
+        threading.Thread(target=backward),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(monitor.violations()) == 1
+
+
+# ---------------------------------------------------------------------------
+# non-violations
+# ---------------------------------------------------------------------------
+
+
+def test_consistent_order_is_clean():
+    monitor = LockMonitor()
+    alpha, beta = make_pair(monitor)
+    for _ in range(3):
+        with alpha:
+            with beta:
+                pass
+    assert monitor.violations() == []
+    assert monitor.edges() == [("Pair._alpha", "Pair._beta")]
+    monitor.assert_acyclic()
+
+
+def test_rlock_reentry_adds_no_edge():
+    monitor = LockMonitor()
+    lock = InstrumentedLock(label="R", reentrant=True, monitor=monitor)
+    with lock:
+        with lock:
+            pass
+    assert monitor.edges() == []
+    assert monitor.violations() == []
+
+
+def test_unnested_acquisitions_add_no_edges():
+    monitor = LockMonitor()
+    alpha, beta = make_pair(monitor)
+    with alpha:
+        pass
+    with beta:
+        pass
+    assert monitor.edges() == []
+
+
+def test_failed_tryacquire_records_nothing():
+    monitor = LockMonitor()
+    lock = InstrumentedLock(label="L", monitor=monitor)
+    assert lock.acquire()
+    # A second non-blocking acquire from another thread must fail
+    # without perturbing the monitor state.
+    result = {}
+    t = threading.Thread(
+        target=lambda: result.setdefault("got", lock.acquire(blocking=False))
+    )
+    t.start()
+    t.join()
+    assert result["got"] is False
+    lock.release()
+    stats = monitor.hold_stats()
+    assert stats["L"]["acquisitions"] == 1
+
+
+# ---------------------------------------------------------------------------
+# hold-time stats
+# ---------------------------------------------------------------------------
+
+
+def test_hold_stats_accumulate():
+    monitor = LockMonitor()
+    lock = InstrumentedLock(label="Stats._lock", monitor=monitor)
+    for _ in range(5):
+        with lock:
+            pass
+    stats = monitor.hold_stats()["Stats._lock"]
+    assert stats["acquisitions"] == 5
+    assert stats["total_held_s"] >= 0.0
+    assert stats["max_held_s"] <= stats["total_held_s"]
+    report = monitor.report()
+    assert "Stats._lock" in report["hold_stats"]
+
+
+# ---------------------------------------------------------------------------
+# install(): wrapping the real repro lock sites
+# ---------------------------------------------------------------------------
+
+
+def test_install_instruments_repro_locks_and_workload_is_acyclic():
+    if lockcheck.monitor() is not None:
+        pytest.skip("sanitizer already installed for this session")
+    monitor = lockcheck.install()
+    try:
+        assert lockcheck.install() is monitor  # idempotent
+        from repro.corfu import CorfuCluster
+        from repro.objects import TangoRegister
+        from repro.tango.runtime import TangoRuntime
+
+        cluster = CorfuCluster(num_sets=3, replication_factor=2)
+        runtime = TangoRuntime(cluster, client_id=1)
+        register = TangoRegister(runtime, oid=1)
+        register.write(7)
+        assert register.read() == 7
+        # The workload exercised real nested locking (runtime -> stream
+        # -> client counters); the witnessed order must be acyclic.
+        assert monitor.edges() != []
+        monitor.assert_acyclic()
+        assert monitor.hold_stats()  # something was measured
+    finally:
+        assert lockcheck.uninstall() is monitor
+    assert threading.Lock is lockcheck._real_lock
+    assert threading.RLock is lockcheck._real_rlock
