@@ -10,6 +10,7 @@ Run from the repo root::
 
     PYTHONPATH=src python benchmarks/perf_gate.py            # full windows
     PYTHONPATH=src python benchmarks/perf_gate.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/perf_gate.py --wire     # + real processes
     PYTHONPATH=src python benchmarks/perf_gate.py -o BENCH_appends.json
 
 Composes with the lock sanitizer: ``REPRO_LOCKCHECK=1`` instruments
@@ -137,6 +138,69 @@ def scenario_sequencer_grant(window: float) -> dict:
     return _timed_loop(lambda: client.check(fast=True), window)
 
 
+# -- wire scenarios (real OS processes over TCP, --wire only) ------------
+
+
+def _wire_deployment(timeout: float = 2.0):
+    """Launch a 3-storage + sequencer fleet; returns (supervisor, cluster)."""
+    from repro.proc import RemoteCluster, Supervisor, cluster_specs
+
+    supervisor = Supervisor(cluster_specs(3, 1)).start()
+    cluster = RemoteCluster(
+        supervisor.addresses(),
+        num_sets=3,
+        replication_factor=1,
+        timeout=timeout,
+    )
+    return supervisor, cluster
+
+
+def scenario_wire_corfu_append(window: float) -> dict:
+    supervisor, cluster = _wire_deployment()
+    try:
+        client = cluster.client()
+        result = _timed_loop(lambda: client.append(PAYLOAD, (1,)), window)
+        result["processes"] = len(supervisor.addresses())
+        return result
+    finally:
+        cluster.close()
+        supervisor.stop()
+
+
+def scenario_wire_corfu_append_batch(window: float, batch: int = 16) -> dict:
+    supervisor, cluster = _wire_deployment()
+    try:
+        client = cluster.client()
+        payloads = [PAYLOAD] * batch
+        result = _timed_loop(
+            lambda: client.append_batch(payloads, (1,)), window
+        )
+        result["ops"] *= batch
+        result["ops_per_sec"] = round(result["ops_per_sec"] * batch, 2)
+        result["batch"] = batch
+        result["processes"] = len(supervisor.addresses())
+        return result
+    finally:
+        cluster.close()
+        supervisor.stop()
+
+
+def scenario_wire_corfu_read_many(window: float, batch: int = 16) -> dict:
+    supervisor, cluster = _wire_deployment()
+    try:
+        client = cluster.client()
+        offsets = [client.append(PAYLOAD, (1,)) for _ in range(batch)]
+        result = _timed_loop(lambda: client.read_many(offsets), window)
+        result["ops"] *= batch
+        result["ops_per_sec"] = round(result["ops_per_sec"] * batch, 2)
+        result["batch"] = batch
+        result["processes"] = len(supervisor.addresses())
+        return result
+    finally:
+        cluster.close()
+        supervisor.stop()
+
+
 def scenario_fig2_sequencer(window: float) -> dict:
     """Figure 2 shape on the calibrated model: plateau throughput."""
     rows = fig2_sequencer(
@@ -161,15 +225,24 @@ SCENARIOS = [
     ("fig2_sequencer", scenario_fig2_sequencer),
 ]
 
+#: Multi-process scenarios, enabled by --wire: each launches its own
+#: 3-storage + sequencer fleet (4 OS processes) and drives it over TCP.
+WIRE_SCENARIOS = [
+    ("wire_corfu_append", scenario_wire_corfu_append),
+    ("wire_corfu_append_batch", scenario_wire_corfu_append_batch),
+    ("wire_corfu_read_many", scenario_wire_corfu_read_many),
+]
 
-def run(window: float) -> dict:
+
+def run(window: float, wire: bool = False) -> dict:
     lock_monitor = None
     if os.environ.get("REPRO_LOCKCHECK") == "1":
         from repro.tools import lockcheck
 
         lock_monitor = lockcheck.install()
     results = {}
-    for name, scenario in SCENARIOS:
+    scenarios = SCENARIOS + (WIRE_SCENARIOS if wire else [])
+    for name, scenario in scenarios:
         print(f"perf_gate: {name} ...", file=sys.stderr)
         results[name] = scenario(window)
     payload = {
@@ -177,6 +250,7 @@ def run(window: float) -> dict:
         "window_s": window,
         "python": sys.version.split()[0],
         "lockcheck": lock_monitor is not None,
+        "wire": wire,
         "scenarios": results,
     }
     if lock_monitor is not None:
@@ -198,6 +272,11 @@ def main(argv=None) -> int:
         "--window", type=float, default=None, help="seconds per scenario"
     )
     parser.add_argument(
+        "--wire",
+        action="store_true",
+        help="also run the multi-process scenarios (real TCP, 4 processes)",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default="BENCH_appends.json",
@@ -205,7 +284,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     window = args.window if args.window is not None else (0.05 if args.quick else 0.25)
-    payload = run(window)
+    payload = run(window, wire=args.wire)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -124,6 +124,22 @@ class OutOfSpaceError(CorfuError):
     """The shared log's address space mapping has been exhausted."""
 
 
+class RemoteCallError(CorfuError):
+    """A server returned an error the wire codec could not reconstruct.
+
+    The socket transport ships errors as ``{code, message}`` envelopes;
+    codes naming a known library/builtin exception are re-raised as that
+    type, and anything else (a server-side bug, a version skew between
+    client and server) surfaces as this error so the caller still sees
+    the remote message and code.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"remote call failed [{code}]: {message}")
+        self.code = code
+        self.message = message
+
+
 # ---------------------------------------------------------------------------
 # Stream layer errors
 # ---------------------------------------------------------------------------

@@ -7,7 +7,7 @@ boundary: every client↔node interaction (sequencer increment / query /
 seal, storage read / write / trim / seal via chain replication) is an
 RPC mediated by a :class:`Transport`.
 
-Two transports ship:
+Three transports ship:
 
 - :class:`LoopbackTransport` (the default) delivers every RPC as a
   direct in-process method call — today's semantics, with per-endpoint
@@ -16,8 +16,17 @@ Two transports ship:
   request/response drops (surfacing as :class:`~repro.errors.RpcTimeout`),
   duplicate delivery, reordering via delayed delivery, and node-pair
   partitions. It is what the network-chaos tests drive.
+- :class:`SocketTransport` speaks length-prefixed JSON frames over TCP
+  to :mod:`repro.net.server` processes — the real-wire deployment
+  driven by :mod:`repro.proc`. Wire format lives in
+  :mod:`repro.net.wire`.
+
+Every transport owns a :class:`Clock` (:mod:`repro.net.clock`):
+logical ticks for the deterministic in-process transports, monotonic
+wall time for sockets.
 """
 
+from repro.net.clock import Clock, LogicalClock, MonotonicClock
 from repro.net.transport import (
     EndpointStats,
     LoopbackTransport,
@@ -25,11 +34,16 @@ from repro.net.transport import (
     Transport,
 )
 from repro.net.faulty import FaultyTransport
+from repro.net.socket import SocketTransport
 
 __all__ = [
+    "Clock",
     "EndpointStats",
     "FaultyTransport",
+    "LogicalClock",
     "LoopbackTransport",
+    "MonotonicClock",
     "RpcProxy",
+    "SocketTransport",
     "Transport",
 ]

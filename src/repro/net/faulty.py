@@ -34,7 +34,8 @@ import threading
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import ReproError, RpcTimeout
-from repro.net.transport import Transport
+from repro.net.clock import LogicalClock
+from repro.net.transport import Transport, resolve_method
 
 #: Rate knobs accepted by ``__init__`` and ``set_rates``.
 _RATE_KNOBS = ("drop_request", "drop_response", "duplicate", "reorder")
@@ -63,7 +64,9 @@ class FaultyTransport(Transport):
         max_delay: int = 6,
         latency_ms: float = 0.0,
     ) -> None:
-        super().__init__()
+        # Fault schedules are phrased in logical ticks; the transport's
+        # clock IS that tick counter (see repro.net.clock).
+        super().__init__(clock=LogicalClock())
         self._rng = random.Random(seed)
         self.drop_request = drop_request
         self.drop_response = drop_response
@@ -73,7 +76,6 @@ class FaultyTransport(Transport):
         self.latency_ms = latency_ms
         self.simulated_latency_ms = 0.0
         self.backoffs = 0
-        self._clock = 0
         self._defer_seq = 0
         # (due_tick, sequence, target, thunk): delayed in-flight requests.
         self._deferred: List[Tuple[int, int, str, Callable[[], None]]] = []
@@ -142,7 +144,7 @@ class FaultyTransport(Transport):
         kwargs: dict,
     ):
         with self._lock:
-            self._clock += 1
+            self.clock.advance()
             self._flush_deferred_locked()
             stats = self.stats_for(target)
             if self.latency_ms:
@@ -159,7 +161,7 @@ class FaultyTransport(Transport):
                 stats.note_timeout()
                 raise RpcTimeout(target, op)
             stats.note_delivery(op, args)
-            result = getattr(resolve(), op)(*args, **kwargs)
+            result = resolve_method(resolve, target, op)(*args, **kwargs)
             # Post-execution faults apply only to calls the server
             # completed: a duplicate of a rejected request is a no-op,
             # and there is no response to lose.
@@ -167,7 +169,7 @@ class FaultyTransport(Transport):
                 stats.note_duplicate()
                 stats.note_delivery(op, args)
                 try:
-                    getattr(resolve(), op)(*args, **kwargs)
+                    resolve_method(resolve, target, op)(*args, **kwargs)
                 except ReproError:
                     # The retransmission bounced off an idempotence
                     # check (WrittenError, SealedError, ...) — exactly
@@ -184,7 +186,7 @@ class FaultyTransport(Transport):
         """Retry backoff: advance logical time so delayed traffic lands."""
         with self._lock:
             self.backoffs += 1
-            self._clock += 1
+            self.clock.advance()
             self._flush_deferred_locked()
 
     # -- deferred (reordered) traffic ---------------------------------------
@@ -197,14 +199,14 @@ class FaultyTransport(Transport):
         args: tuple,
         kwargs: dict,
     ) -> None:
-        due = self._clock + self._rng.randint(1, self.max_delay)
+        due = int(self.clock.now()) + self._rng.randint(1, self.max_delay)
         self._defer_seq += 1
         self.stats_for(target).note_reordered()
 
         def deliver() -> None:
             self.stats_for(target).note_delivery(op, args)
             try:
-                getattr(resolve(), op)(*args, **kwargs)
+                resolve_method(resolve, target, op)(*args, **kwargs)
             except ReproError:
                 # Late delivery bounced (sealed epoch, already-written
                 # offset, node down). Nobody is waiting for the answer.
@@ -215,10 +217,11 @@ class FaultyTransport(Transport):
     def _flush_deferred_locked(self, everything: bool = False) -> int:
         if not self._deferred:
             return 0
+        now = int(self.clock.now())
         ready = [
             item
             for item in self._deferred
-            if everything or item[0] <= self._clock
+            if everything or item[0] <= now
         ]
         if not ready:
             return 0

@@ -8,9 +8,20 @@ returning the live server object (so delivery — not proxy creation —
 observes node liveness, exactly like a real connection attempt).
 
 Clients never hold server objects directly; they hold
-:class:`RpcProxy` handles obtained from the transport. A proxy forwards
-method calls through ``Transport.call`` and passes non-callable
-attributes straight through (local metadata, never an RPC).
+:class:`RpcProxy` handles obtained from the transport. Every attribute
+access on a proxy names an RPC and forwards through ``Transport.call``
+when invoked; the only local state a proxy exposes is its own endpoint
+metadata (:attr:`RpcProxy.source` / :attr:`RpcProxy.target`). Reaching
+through a proxy to a server attribute is a hard error — it cannot work
+across a process boundary, and allowing it under loopback hid exactly
+that dependency.
+
+Transports also own their notion of *time* (:mod:`repro.net.clock`):
+the default :class:`~repro.net.clock.LogicalClock` ticks once per
+backoff so simulated fault schedules stay deterministic, while the
+socket transport plugs in a
+:class:`~repro.net.clock.MonotonicClock` so deadlines and retry
+backoff use real wall time.
 
 Concurrency: a transport is shared by every client thread of a
 deployment, so counter updates are read-modify-write races unless
@@ -25,7 +36,28 @@ plain int read, which is atomic under the GIL.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
+
+from repro.net.clock import Clock, LogicalClock
+
+
+def resolve_method(resolve: Callable[[], object], target: str, op: str):
+    """Resolve the live server object and the *callable* named by *op*.
+
+    Shared by the in-process transports (loopback, faulty). A
+    non-callable attribute is a protocol violation, not metadata: over
+    a real wire there is no object to reach into, so delivery refuses
+    to simulate it.
+    """
+    attr = getattr(resolve(), op)
+    if not callable(attr):
+        raise TypeError(
+            f"rpc '{op}' to {target} names a non-callable server "
+            f"attribute; attribute reach-through across the transport "
+            f"is not supported (hold local metadata on the client, or "
+            f"add a real RPC)"
+        )
+    return attr
 
 
 class EndpointStats:
@@ -110,9 +142,14 @@ class EndpointStats:
 class RpcProxy:
     """A client's handle on one remote node.
 
-    Method calls go through the transport; non-callable attributes
-    (counters, names) are read directly off the resolved server — they
-    model local bookkeeping, not network traffic.
+    Every public attribute access names an RPC: the returned callable
+    forwards through ``Transport.call`` when invoked, without touching
+    the server object first (delivery — not attribute lookup — is what
+    observes liveness, exactly like a real connection). The proxy's
+    own local metadata is explicit: :attr:`source` and :attr:`target`
+    name the endpoints. There is no attribute reach-through — asking a
+    proxy for server state is answered with an error at call time, not
+    a loopback-only shortcut.
     """
 
     __slots__ = ("_transport", "_source", "_target", "_resolve")
@@ -129,10 +166,21 @@ class RpcProxy:
         self._target = target
         self._resolve = resolve
 
+    @property
+    def source(self) -> str:
+        """Local metadata: the calling endpoint's name."""
+        return self._source
+
+    @property
+    def target(self) -> str:
+        """Local metadata: the node this proxy addresses."""
+        return self._target
+
     def __getattr__(self, op: str):
-        attr = getattr(self._resolve(), op)
-        if not callable(attr):
-            return attr
+        if op.startswith("_"):
+            # Private/dunder lookups (copy, pickle, introspection) are
+            # never RPCs; refusing them here keeps tooling honest.
+            raise AttributeError(op)
         transport = self._transport
         source, target, resolve = self._source, self._target, self._resolve
 
@@ -147,13 +195,22 @@ class RpcProxy:
 
 
 class Transport:
-    """Base class: endpoint stats plus the delivery interface."""
+    """Base class: endpoint stats plus the delivery interface.
 
-    def __init__(self) -> None:
+    Each transport owns a :class:`~repro.net.clock.Clock`. In-process
+    transports default to a :class:`~repro.net.clock.LogicalClock`
+    (deterministic ticks), the socket transport plugs in a
+    :class:`~repro.net.clock.MonotonicClock` (wall deadlines, real
+    sleeps). Client retry code only ever calls :meth:`backoff`, so it
+    is agnostic to which one is installed.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
         self._stats: Dict[str, EndpointStats] = {}
         # Guards the endpoint map itself (entry creation vs snapshot
         # iteration); each EndpointStats guards its own counters.
         self._stats_lock = threading.Lock()
+        self.clock: Clock = clock if clock is not None else LogicalClock()
 
     # -- delivery (subclass responsibility) ---------------------------------
 
@@ -169,7 +226,14 @@ class Transport:
         raise NotImplementedError
 
     def backoff(self, source: str, attempt: int) -> None:
-        """Client-side retry backoff hook. Loopback: nothing to wait for."""
+        """Client-side retry backoff hook.
+
+        Delegates to the transport clock: logical clocks tick once
+        (deterministic), wall clocks sleep the standard exponential
+        schedule. Subclasses may layer extra work on top (the faulty
+        transport flushes deferred deliveries here).
+        """
+        self.clock.backoff(attempt)
 
     # -- proxies ------------------------------------------------------------
 
@@ -218,4 +282,4 @@ class LoopbackTransport(Transport):
         kwargs: dict,
     ):
         self.stats_for(target).note_delivery(op, args)
-        return getattr(resolve(), op)(*args, **kwargs)
+        return resolve_method(resolve, target, op)(*args, **kwargs)

@@ -1,0 +1,266 @@
+"""Wire format: value codec, error envelope, frames, op registries.
+
+Everything a socket transport puts on a TCP stream is defined here so
+loopback and wire deployments stay behaviorally identical:
+
+- **Value codec** (:func:`encode_value` / :func:`decode_value`): JSON
+  with explicit tags for the Python shapes JSON cannot express but the
+  RPC surface uses — ``bytes`` (pages, payloads), ``tuple`` (sequencer
+  grants, backpointer vectors), non-string-keyed dicts (per-offset and
+  per-stream maps), and embedded exception instances. Round-tripping
+  preserves types exactly: ``decode_value(encode_value(x)) == x`` with
+  matching types, which the regression suite asserts for every op in
+  the RPC registry.
+- **Error envelope** (:func:`encode_error` / :func:`decode_error`):
+  ``{"code", "message", "params"}`` where *code* names the exception
+  class. Known library errors are reconstructed with their typed
+  attributes (``SealedError.epoch``, ``UnwrittenError.offset``, ...) so
+  client retry logic is transport-agnostic; unknown codes surface as
+  :class:`~repro.errors.RemoteCallError`.
+- **Frames** (:func:`send_frame` / :func:`recv_frame`): a little-endian
+  u32 length prefix (via :mod:`repro.util.encoding`, the same helpers
+  log entries use) followed by that many bytes of compact JSON.
+- **Op registries**: the canonical sets of method names each node kind
+  serves. tangolint's TL009 rule derives its RPC surface from these,
+  so adding an op here automatically extends the lint contract.
+
+No pickle anywhere (TL007): a malicious or corrupt peer can produce at
+worst a ``ValueError``, never code execution.
+"""
+
+from __future__ import annotations
+
+import base64
+import builtins
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro import errors as _errors
+from repro.errors import RemoteCallError
+from repro.util.encoding import pack_u32, unpack_u32
+
+#: Hard upper bound on a single frame (64 MiB). A length prefix past
+#: this is treated as stream corruption, not an allocation request.
+MAX_FRAME_BYTES = 1 << 26
+
+# -- op registries -----------------------------------------------------------
+
+#: RPC methods a storage node (FlashUnit) serves.
+STORAGE_OPS = frozenset(
+    {
+        "write",
+        "read",
+        "read_many",
+        "is_written",
+        "trim",
+        "trim_prefix",
+        "seal",
+        "local_tail",
+        "written_addresses",
+    }
+)
+
+#: RPC methods a sequencer serves.
+SEQUENCER_OPS = frozenset({"increment", "query", "seal", "bootstrap"})
+
+#: Supervision-plane methods every hosted node answers.
+ADMIN_OPS = frozenset({"ping", "shutdown"})
+
+#: The full wire-callable surface.
+RPC_OPS = STORAGE_OPS | SEQUENCER_OPS | ADMIN_OPS
+
+
+# -- value codec -------------------------------------------------------------
+
+_TAG_BYTES = "__bytes__"
+_TAG_TUPLE = "__tuple__"
+_TAG_MAP = "__map__"
+_TAG_ERROR = "__error__"
+_TAGS = frozenset({_TAG_BYTES, _TAG_TUPLE, _TAG_MAP, _TAG_ERROR})
+
+
+def encode_value(value: Any) -> Any:
+    """Lower a Python RPC value to a JSON-safe shape, preserving types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        return {_TAG_BYTES: base64.b64encode(raw).decode("ascii")}
+    if isinstance(value, tuple):
+        return {_TAG_TUPLE: [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) for k in value) and not (
+            _TAGS & value.keys()
+        ):
+            return {k: encode_value(v) for k, v in value.items()}
+        # Non-string keys (offset->page maps, stream-id->backpointer
+        # maps) ride as ordered [key, value] pairs.
+        return {
+            _TAG_MAP: [
+                [encode_value(k), encode_value(v)] for k, v in value.items()
+            ]
+        }
+    if isinstance(value, BaseException):
+        return {_TAG_ERROR: encode_error(value)}
+    raise TypeError(
+        f"value of type {type(value).__name__} is not wire-encodable; "
+        f"RPC payloads are limited to JSON scalars, bytes, tuples, "
+        f"lists, dicts, and library errors"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if len(value) == 1:
+            ((tag, body),) = value.items()
+            if tag == _TAG_BYTES:
+                return base64.b64decode(body)
+            if tag == _TAG_TUPLE:
+                return tuple(decode_value(v) for v in body)
+            if tag == _TAG_MAP:
+                return {decode_value(k): decode_value(v) for k, v in body}
+            if tag == _TAG_ERROR:
+                return decode_error(body)
+        return {k: decode_value(v) for k, v in value.items()}
+    return value
+
+
+# -- error envelope ----------------------------------------------------------
+
+#: Constructor signatures of the typed library errors, by class name.
+#: Each entry lists the attribute names whose values are both the
+#: positional constructor args and the instance attributes — so an
+#: envelope can be built from a live error and replayed into an equal
+#: one on the far side.
+_ERROR_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "WrittenError": ("offset",),
+    "UnwrittenError": ("offset",),
+    "TrimmedError": ("offset",),
+    "SealedError": ("epoch",),
+    "WrongEpochError": ("expected", "got"),
+    "NodeDownError": ("node",),
+    "RpcTimeout": ("node", "op"),
+    "RetriesExhaustedError": ("op", "attempts", "last"),
+    "TooManyStreamsError": ("requested", "limit"),
+    "UnknownStreamError": ("stream_id",),
+    "TransactionAborted": ("reason", "commit_offset"),
+    "RemoteReadError": ("oid",),
+}
+
+#: Builtin exceptions a server may legitimately raise at the RPC
+#: boundary (bad arguments, contract violations). Reconstructed with
+#: their message only.
+_BUILTIN_ERRORS = frozenset(
+    {
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "AssertionError",
+        "NotImplementedError",
+    }
+)
+
+
+def encode_error(exc: BaseException) -> Dict[str, Any]:
+    """Build the ``{code, message, params?}`` envelope for *exc*."""
+    code = type(exc).__name__
+    envelope: Dict[str, Any] = {"code": code, "message": str(exc)}
+    params = _ERROR_PARAMS.get(code)
+    if params is not None and all(hasattr(exc, p) for p in params):
+        envelope["params"] = {p: encode_value(getattr(exc, p)) for p in params}
+    return envelope
+
+
+def decode_error(envelope: Dict[str, Any]) -> BaseException:
+    """Reconstruct the typed exception an envelope describes.
+
+    Returns the exception instance (callers raise it); unknown codes
+    become :class:`~repro.errors.RemoteCallError`.
+    """
+    code = envelope.get("code", "UnknownError")
+    message = envelope.get("message", "")
+    params = envelope.get("params")
+    ctor_args = _ERROR_PARAMS.get(code)
+    if ctor_args is not None and isinstance(params, dict):
+        cls = getattr(_errors, code, None)
+        if cls is not None:
+            try:
+                return cls(*(decode_value(params[p]) for p in ctor_args))
+            except (KeyError, TypeError):
+                return RemoteCallError(code, message)
+    cls = getattr(_errors, code, None)
+    if cls is not None and ctor_args is None:
+        try:
+            return cls(message)
+        except TypeError:
+            return RemoteCallError(code, message)
+    if code in _BUILTIN_ERRORS:
+        return getattr(builtins, code)(message)
+    return RemoteCallError(code, message)
+
+
+# -- frames ------------------------------------------------------------------
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one message: u32 length prefix + compact JSON body."""
+    body = json.dumps(
+        payload, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    buf = bytearray()
+    pack_u32(buf, len(body))
+    buf += body
+    return bytes(buf)
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Write one framed message to *sock*."""
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly *n* bytes; None on EOF before the first byte."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(65536, n - got))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ConnectionError(
+                f"connection closed mid-frame ({got}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one framed message; None on clean EOF at a frame boundary.
+
+    Raises ``ConnectionError`` on mid-frame EOF and ``ValueError`` on a
+    corrupt length prefix or non-object body.
+    """
+    header = _recv_exact(sock, 4)
+    if header is None:
+        return None
+    length, _ = unpack_u32(header, 0)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ConnectionError("connection closed between header and body")
+    payload = json.loads(body.decode("utf-8"))
+    if not isinstance(payload, dict):
+        raise ValueError("frame body must be a JSON object")
+    return payload

@@ -1,0 +1,7 @@
+"""``python -m repro.proc`` == the ``repro-cluster`` CLI."""
+
+import sys
+
+from repro.proc.cli import main
+
+sys.exit(main())

@@ -1,0 +1,152 @@
+"""RemoteCluster: the client-side handle on a wire deployment.
+
+:class:`~repro.corfu.client.CorfuClient`, the stream layer, and the
+reconfiguration driver all consume a *cluster* object for exactly four
+things: the transport, the authoritative projection (the paper's
+auxiliary), deployment constants (``k`` / ``entry_size`` /
+``max_streams``), and ``storage()`` / ``sequencer()`` resolvers that
+only the in-process transports ever invoke. :class:`RemoteCluster`
+provides all four over TCP, so the entire client stack runs unchanged
+against real processes.
+
+The auxiliary caveat: the paper keeps projections in a Paxos-backed
+service; here the authoritative copy lives in the *client process*
+(same epoch-checked ``install_projection`` semantics as
+:class:`~repro.corfu.cluster.CorfuCluster`). Clients in one process
+share one auxiliary; separate client processes each have their own —
+fine for benchmarks and the e2e suite (one driver process), and the
+storage-side epoch sealing still fences stale writers regardless of
+who drove the reconfiguration.
+
+``storage()`` / ``sequencer()`` raise: over a wire there is no live
+node object, and only loopback-style transports ever call the resolver
+a proxy carries. Anything that genuinely needs the object (e.g.
+:func:`repro.corfu.reconfig.checkpoint_sequencer_state`, which reads
+the sequencer's soft state directly) is loopback-only by design.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.corfu.entry import DEFAULT_ENTRY_SIZE, DEFAULT_K
+from repro.corfu.layout import Projection, build_projection
+from repro.net.socket import SocketTransport
+from repro.net.transport import Transport
+
+
+class RemoteCluster:
+    """Duck-typed :class:`~repro.corfu.cluster.CorfuCluster` over TCP.
+
+    Args:
+        addresses: node name → ``(host, port)`` map, typically
+            :meth:`repro.proc.supervisor.Supervisor.addresses`.
+        num_sets / replication_factor / sequencer: the deployed layout;
+            must match the processes actually running (names are the
+            contract — see :func:`repro.proc.supervisor.cluster_specs`).
+        projection: explicit initial projection (overrides the layout
+            arguments).
+        transport: defaults to a :class:`SocketTransport` over
+            *addresses* with *timeout* seconds per call.
+    """
+
+    def __init__(
+        self,
+        addresses: Dict[str, Tuple[str, int]],
+        num_sets: int = 1,
+        replication_factor: int = 3,
+        sequencer: str = "seq-0",
+        k: int = DEFAULT_K,
+        entry_size: int = DEFAULT_ENTRY_SIZE,
+        max_streams: int = 16,
+        projection: Optional[Projection] = None,
+        transport: Optional[Transport] = None,
+        timeout: float = 2.0,
+    ) -> None:
+        self.k = k
+        self.entry_size = entry_size
+        self.max_streams = max_streams
+        self.transport: Transport = (
+            transport
+            if transport is not None
+            else SocketTransport(addresses=dict(addresses), timeout=timeout)
+        )
+        if projection is None:
+            projection = build_projection(
+                num_sets, replication_factor, sequencer=sequencer
+            )
+        missing = [n for n in projection.all_nodes() if n not in addresses]
+        if projection.sequencer not in addresses:
+            missing.append(projection.sequencer)
+        if missing:
+            raise ValueError(
+                f"projection names nodes with no address: {missing}"
+            )
+        self._projection = projection
+        self._lock = threading.Lock()
+        self._client_ids = iter(range(1, 1 << 31))
+
+    # -- membership (the client-process auxiliary) ---------------------------
+
+    @property
+    def projection(self) -> Projection:
+        """The current (latest-epoch) projection."""
+        with self._lock:
+            return self._projection
+
+    def install_projection(self, projection: Projection) -> None:
+        """Atomically install a higher-epoch projection."""
+        with self._lock:
+            if projection.epoch <= self._projection.epoch:
+                raise ValueError(
+                    f"projection epoch {projection.epoch} is not newer than "
+                    f"current epoch {self._projection.epoch}"
+                )
+            self._projection = projection
+
+    def storage(self, name: str):
+        """No live objects over a wire; see the module docstring."""
+        raise RuntimeError(
+            f"RemoteCluster has no in-process object for storage node "
+            f"{name!r}; all access goes through the transport"
+        )
+
+    def sequencer(self, name: Optional[str] = None):
+        """No live objects over a wire; see the module docstring."""
+        raise RuntimeError(
+            f"RemoteCluster has no in-process object for sequencer "
+            f"{name!r}; all access goes through the transport"
+        )
+
+    # -- clients -------------------------------------------------------------
+
+    def client(self, name: Optional[str] = None) -> "CorfuClient":
+        """A :class:`~repro.corfu.client.CorfuClient` over this wire."""
+        from repro.corfu.client import CorfuClient
+
+        return CorfuClient(self, name=name)
+
+    def next_client_name(self) -> str:
+        """Mint a unique transport endpoint name for a new client."""
+        with self._lock:
+            return f"client-{next(self._client_ids)}"
+
+    def close(self) -> None:
+        """Release pooled connections (processes are not ours to stop)."""
+        close = getattr(self.transport, "close", None)
+        if callable(close):
+            close()
+
+    def __enter__(self) -> "RemoteCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        p = self.projection
+        return (
+            f"<RemoteCluster epoch={p.epoch} sets={len(p.replica_sets)} "
+            f"sequencer={p.sequencer}>"
+        )

@@ -15,18 +15,15 @@ from __future__ import annotations
 import ast
 from typing import Iterable, List, Optional, Set
 
+from repro.net.wire import RPC_OPS as _WIRE_OPS
 from repro.tools.lint.engine import Diagnostic, ParsedModule, Rule, Severity
 from repro.tools.lint.rules.common import class_methods
 
-#: Method names that constitute node RPCs (sequencer + storage + the
-#: chain-replication wrappers over them).
-_RPC_OPS = frozenset(
-    {
-        "increment", "query", "seal", "bootstrap", "local_tail",
-        "write", "read", "read_many", "is_written", "trim",
-        "trim_prefix", "fill",
-    }
-)
+#: Method names that constitute node RPCs. Derived from the wire
+#: registry (:data:`repro.net.wire.RPC_OPS` — the exact surface the
+#: socket transport serves) plus the chain-replication wrapper ``fill``
+#: that exists only client-side.
+_RPC_OPS = _WIRE_OPS | frozenset({"fill"})
 
 #: The protocol errors every public RPC-driving method must react to.
 _REQUIRED = frozenset({"SealedError", "NodeDownError", "RpcTimeout"})

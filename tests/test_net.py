@@ -50,11 +50,26 @@ class TestLoopbackTransport:
         assert server.calls == [3]
         assert net.endpoint_stats()["node-a"]["rpcs"] == 1
 
-    def test_non_callable_attributes_bypass_the_network(self):
+    def test_attribute_reach_through_is_a_hard_error(self):
+        # A real wire has no server object to reach into: accessing a
+        # name yields an RPC callable, and *invoking* it against a
+        # non-callable server attribute fails loudly at delivery time.
         net = LoopbackTransport()
         proxy = net.proxy("client-1", "node-a", lambda: _Echo())
-        assert proxy.label == "echo"
-        assert net.endpoint_stats() == {}  # reading metadata is not an RPC
+        rpc = proxy.label  # attribute access only names the RPC
+        assert callable(rpc)
+        assert net.endpoint_stats() == {}  # nothing delivered yet
+        with pytest.raises(TypeError, match="non-callable"):
+            rpc()
+
+    def test_proxy_exposes_endpoint_metadata_locally(self):
+        net = LoopbackTransport()
+        proxy = net.proxy("client-1", "node-a", lambda: _Echo())
+        assert proxy.source == "client-1"
+        assert proxy.target == "node-a"
+        assert net.endpoint_stats() == {}  # metadata reads are local
+        with pytest.raises(AttributeError):
+            proxy._resolve_anything  # private names are never RPCs
 
     def test_resolve_happens_at_delivery_time(self):
         # Swapping the live server object (crash/recover) must be

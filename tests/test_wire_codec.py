@@ -1,0 +1,278 @@
+"""Wire serialization: every RPC payload round-trips frames exactly.
+
+Satellite of the socket-transport work: loopback and socket transports
+must be observationally identical, which reduces to one property — for
+every op the lint rule (TL009) recognizes as an RPC, the op's argument
+and result shapes survive ``encode_value``/``decode_value`` with types
+intact (tuples stay tuples, bytes stay bytes, int dict keys stay ints),
+and every typed protocol error survives the error envelope with its
+constructor attributes intact (a client retry loop dispatches on
+``SealedError.epoch`` and ``UnwrittenError.offset``, not on strings).
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.corfu.entry import NO_BACKPOINTER
+from repro.errors import (
+    NodeDownError,
+    RemoteCallError,
+    RemoteReadError,
+    RetriesExhaustedError,
+    RpcTimeout,
+    SealedError,
+    TooManyStreamsError,
+    TransactionAborted,
+    TrimmedError,
+    UnknownStreamError,
+    UnwrittenError,
+    WrittenError,
+    WrongEpochError,
+)
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    RPC_OPS,
+    decode_error,
+    decode_value,
+    encode_error,
+    encode_frame,
+    encode_value,
+    recv_frame,
+    send_frame,
+)
+from repro.tools.lint.rules.net import _RPC_OPS as LINT_RPC_OPS
+
+#: Representative (args, kwargs, result) shapes per RPC op, using the
+#: exact types the real servers consume and produce.
+SAMPLES = {
+    "write": ((7, b"\x00\xffpage", 3), {}, None),
+    "read": ((7, 3), {}, b"\x00\xffpage"),
+    "read_many": (
+        ([1, 2, 3], 3),
+        {},
+        {1: ("ok", b"data"), 2: ("unwritten", None), 3: ("trimmed", None)},
+    ),
+    "is_written": ((7, 3), {}, True),
+    "trim": ((7, 3), {}, None),
+    "trim_prefix": ((7, 3), {}, None),
+    "seal": ((4,), {}, 12),
+    "local_tail": ((), {}, 12),
+    "written_addresses": ((), {}, [0, 1, 5]),
+    "increment": (
+        ((1, 2),),
+        {"epoch": 3, "count": 2},
+        (9, {1: (8, 5, 2), 2: (NO_BACKPOINTER,) * 4}),
+    ),
+    "query": (((1,),), {"epoch": 3}, (11, {1: (10, 8, 5)})),
+    "bootstrap": ((11, {1: [10, 8], 2: [9]}, 4), {}, None),
+    "ping": ((), {}, {"name": "flash-0-0", "kind": "FlashUnit", "pid": 4242}),
+    "shutdown": ((), {}, True),
+    # Client-side chain wrapper: delivered to storage as a junk write.
+    "fill": ((7, b"junk", 3), {}, None),
+}
+
+#: Typed errors and the attributes that must survive the envelope.
+ERROR_SAMPLES = [
+    (WrittenError(3), {"offset": 3}),
+    (UnwrittenError(4), {"offset": 4}),
+    (TrimmedError(5), {"offset": 5}),
+    (SealedError(2), {"epoch": 2}),
+    (WrongEpochError(2, 1), {"expected": 2, "got": 1}),
+    (NodeDownError("flash-0-1"), {"node": "flash-0-1"}),
+    (RpcTimeout("seq-0", "increment"), {"node": "seq-0", "op": "increment"}),
+    (
+        RetriesExhaustedError("append", 32, "rpc read to flash-0-0 timed out"),
+        {"op": "append", "attempts": 32},
+    ),
+    (TooManyStreamsError(17, 16), {"requested": 17, "limit": 16}),
+    (UnknownStreamError(9), {"stream_id": 9}),
+    (TransactionAborted("stale read of oid 1", 12), {"commit_offset": 12}),
+    (RemoteReadError(7), {"oid": 7}),
+]
+
+
+def wire_round_trip(value):
+    """encode → JSON text (what actually crosses TCP) → decode."""
+    return decode_value(json.loads(json.dumps(encode_value(value))))
+
+
+def assert_identical(a, b):
+    """Deep equality *including* container and leaf types."""
+    assert type(a) is type(b), f"{type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, dict):
+        assert sorted(map(repr, a)) == sorted(map(repr, b))
+        for key in a:
+            assert_identical(a[key], b[key])
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_identical(x, y)
+    else:
+        assert a == b
+
+
+class TestValueCodec:
+    def test_lint_rpc_surface_is_covered(self):
+        # The regression contract: every op tangolint treats as an RPC
+        # has a round-trip sample here, and the wire registry is a
+        # subset of the lint surface (lint additionally knows 'fill').
+        assert LINT_RPC_OPS == RPC_OPS | {"fill"}
+        assert set(SAMPLES) >= LINT_RPC_OPS
+
+    @pytest.mark.parametrize("op", sorted(SAMPLES))
+    def test_op_payloads_round_trip(self, op):
+        args, kwargs, result = SAMPLES[op]
+        assert_identical(wire_round_trip(list(args)), list(args))
+        assert_identical(wire_round_trip(dict(kwargs)), dict(kwargs))
+        assert_identical(wire_round_trip(result), result)
+
+    def test_scalars_and_none(self):
+        for value in (None, True, False, 0, -7, 3.5, "text", ""):
+            got = wire_round_trip(value)
+            assert got == value and type(got) is type(value)
+
+    def test_bytes_stay_bytes(self):
+        blob = bytes(range(256))
+        assert wire_round_trip(blob) == blob
+        assert isinstance(wire_round_trip(blob), bytes)
+
+    def test_nested_structures(self):
+        value = {"outer": [(1, b"\x00"), {2: ("ok", None)}], "n": 3}
+        assert_identical(wire_round_trip(value), value)
+
+    def test_string_dicts_colliding_with_tags_round_trip(self):
+        # A payload that *looks* like a codec tag must not be decoded
+        # as one.
+        value = {"__bytes__": "not-base64!", "other": 1}
+        assert_identical(wire_round_trip(value), value)
+        tricky = {"__tuple__": [1, 2]}
+        assert_identical(wire_round_trip(tricky), tricky)
+
+    def test_unencodable_types_are_rejected(self):
+        with pytest.raises(TypeError, match="not wire-encodable"):
+            encode_value(object())
+
+    def test_embedded_error_instances(self):
+        # CorfuClient.read_many returns error *instances* as values;
+        # they must survive as typed instances, not strings.
+        outcome = {1: UnwrittenError(1), 2: TrimmedError(2)}
+        got = wire_round_trip(outcome)
+        assert isinstance(got[1], UnwrittenError) and got[1].offset == 1
+        assert isinstance(got[2], TrimmedError) and got[2].offset == 2
+
+
+class TestErrorEnvelope:
+    @pytest.mark.parametrize(
+        "exc,attrs", ERROR_SAMPLES, ids=lambda v: type(v).__name__
+        if isinstance(v, BaseException) else None,
+    )
+    def test_typed_errors_round_trip(self, exc, attrs):
+        envelope = json.loads(json.dumps(encode_error(exc)))
+        got = decode_error(envelope)
+        assert type(got) is type(exc)
+        for attr, expected in attrs.items():
+            assert getattr(got, attr) == expected
+        assert str(got) == str(exc)
+
+    def test_builtin_errors_round_trip(self):
+        got = decode_error(encode_error(ValueError("count must be >= 1")))
+        assert isinstance(got, ValueError)
+        assert "count must be >= 1" in str(got)
+
+    def test_unknown_code_becomes_remote_call_error(self):
+        got = decode_error({"code": "SomeServerBug", "message": "boom"})
+        assert isinstance(got, RemoteCallError)
+        assert got.code == "SomeServerBug"
+        assert "boom" in str(got)
+
+    def test_malformed_params_degrade_gracefully(self):
+        got = decode_error({"code": "SealedError", "message": "x", "params": {}})
+        assert isinstance(got, RemoteCallError)
+
+
+class TestFrames:
+    def _pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(5.0)
+        b.settimeout(5.0)
+        return a, b
+
+    def test_send_recv_round_trip(self):
+        a, b = self._pair()
+        try:
+            payload = {"id": "c#1", "op": "read", "args": encode_value([7, b"x"])}
+            send_frame(a, payload)
+            assert recv_frame(b) == json.loads(json.dumps(payload))
+        finally:
+            a.close()
+            b.close()
+
+    def test_partial_delivery_reassembles(self):
+        # TCP is a byte stream: frames arriving one byte at a time must
+        # still parse.
+        a, b = self._pair()
+        try:
+            raw = encode_frame({"id": "c#2", "ok": encode_value((1, b"\xff"))})
+            done = threading.Event()
+
+            def dribble():
+                for i in range(len(raw)):
+                    a.sendall(raw[i : i + 1])
+                done.set()
+
+            t = threading.Thread(target=dribble, daemon=True)
+            t.start()
+            frame = recv_frame(b)
+            assert decode_value(frame["ok"]) == (1, b"\xff")
+            assert done.wait(5.0)
+            t.join(5.0)
+        finally:
+            a.close()
+            b.close()
+
+    def test_two_frames_on_one_stream(self):
+        a, b = self._pair()
+        try:
+            send_frame(a, {"id": "c#1"})
+            send_frame(a, {"id": "c#2"})
+            assert recv_frame(b)["id"] == "c#1"
+            assert recv_frame(b)["id"] == "c#2"
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self._pair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = self._pair()
+        try:
+            raw = encode_frame({"id": "c#1", "ok": encode_value(b"payload")})
+            a.sendall(raw[: len(raw) // 2])
+            a.close()
+            with pytest.raises(ConnectionError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        a, b = self._pair()
+        try:
+            a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "little"))
+            with pytest.raises(ValueError, match="MAX_FRAME_BYTES"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_payload_rejected_at_send(self):
+        with pytest.raises(ValueError, match="MAX_FRAME_BYTES"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
