@@ -132,6 +132,51 @@ def scenario_map_tx_commit(window: float) -> dict:
     return _timed_loop(tx_commit, window)
 
 
+def scenario_store_durable_append(window: float) -> dict:
+    """Append path of the segment store, plus one compaction sweep.
+
+    Exercises :mod:`repro.store` end to end: framed appends into
+    rolling segment files (fsync off — this measures the code path,
+    not the device), then a prefix trim over 90% of the history and a
+    cluster-wide ``compact`` RPC. The reclaim numbers ride along in the
+    artifact so a regression in the compactor shows up next to the
+    throughput it protects.
+    """
+    import shutil
+    import tempfile
+
+    from repro.corfu.durable import open_durable_cluster
+    from repro.store import CompactionPolicy
+
+    data_dir = tempfile.mkdtemp(prefix="perf_gate_store_")
+    try:
+        cluster = open_durable_cluster(
+            data_dir,
+            num_sets=3,
+            replication_factor=2,
+            segment_bytes=1 << 16,
+            sync=False,
+            compaction_policy=CompactionPolicy(
+                min_garbage_ratio=0.3, min_dead_bytes=1024
+            ),
+        )
+        client = cluster.client()
+        result = _timed_loop(lambda: client.append(PAYLOAD, (1,)), window)
+        appended = result["ops"] + 25  # warmup ops hold offsets too
+        client.trim_prefix(int(appended * 0.9))
+        swept = client.compact()
+        result["bytes_reclaimed"] = sum(
+            node.get("bytes_reclaimed", 0) for node in swept.values()
+        )
+        status = client.store_status()
+        result["segments_after_compaction"] = sum(
+            node.get("segments", 0) for node in status.values()
+        )
+        return result
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
 def scenario_sequencer_grant(window: float) -> dict:
     cluster = CorfuCluster(num_sets=3, replication_factor=2)
     client = cluster.client()
@@ -221,6 +266,7 @@ SCENARIOS = [
     ("stream_append_sync", scenario_stream_append_sync),
     ("register_write_read", scenario_register_write_read),
     ("map_tx_commit", scenario_map_tx_commit),
+    ("store_durable_append", scenario_store_durable_append),
     ("sequencer_grant", scenario_sequencer_grant),
     ("fig2_sequencer", scenario_fig2_sequencer),
 ]
@@ -234,7 +280,7 @@ WIRE_SCENARIOS = [
 ]
 
 
-def run(window: float, wire: bool = False) -> dict:
+def run(window: float, wire: bool = False, only=None) -> dict:
     lock_monitor = None
     if os.environ.get("REPRO_LOCKCHECK") == "1":
         from repro.tools import lockcheck
@@ -242,6 +288,11 @@ def run(window: float, wire: bool = False) -> dict:
         lock_monitor = lockcheck.install()
     results = {}
     scenarios = SCENARIOS + (WIRE_SCENARIOS if wire else [])
+    if only:
+        unknown = set(only) - {name for name, _ in scenarios}
+        if unknown:
+            raise SystemExit(f"perf_gate: unknown scenario(s): {sorted(unknown)}")
+        scenarios = [(n, s) for n, s in scenarios if n in only]
     for name, scenario in scenarios:
         print(f"perf_gate: {name} ...", file=sys.stderr)
         results[name] = scenario(window)
@@ -277,6 +328,12 @@ def main(argv=None) -> int:
         help="also run the multi-process scenarios (real TCP, 4 processes)",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only this scenario (repeatable)",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default="BENCH_appends.json",
@@ -284,7 +341,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     window = args.window if args.window is not None else (0.05 if args.quick else 0.25)
-    payload = run(window, wire=args.wire)
+    payload = run(window, wire=args.wire, only=args.only)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

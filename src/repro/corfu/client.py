@@ -705,3 +705,44 @@ class CorfuClient:
                 self._notify_trim(offset, True)
                 return
         raise RetriesExhaustedError("trim_prefix", _MAX_RETRIES)
+
+    # -- storage-admin plane ---------------------------------------------------
+
+    def store_status(self) -> Dict[str, Dict[str, object]]:
+        """Per-node storage accounting over the wire (read-only RPC).
+
+        Best effort by design: an unreachable or sealed node reports an
+        ``{"error": ...}`` entry instead of failing the whole survey —
+        operators want the view of whatever is up.
+        """
+        proj = self._projection
+        nodes: Dict[str, Dict[str, object]] = {}
+        for rset in proj.replica_sets:
+            for node in rset:
+                if node in nodes:
+                    continue
+                try:
+                    nodes[node] = self._storage_rpc(node).store_status()
+                except (SealedError, NodeDownError, RpcTimeout) as exc:
+                    nodes[node] = {"error": type(exc).__name__}
+        return nodes
+
+    def compact(self) -> Dict[str, Dict[str, object]]:
+        """Trigger one compaction sweep on every reachable storage node.
+
+        Idempotent: a sweep that finds no garbage-heavy segments is a
+        no-op, so re-running after a partial failure only re-sweeps.
+        Down nodes report ``{"error": ...}`` entries like
+        :meth:`store_status`.
+        """
+        proj = self._projection
+        nodes: Dict[str, Dict[str, object]] = {}
+        for rset in proj.replica_sets:
+            for node in rset:
+                if node in nodes:
+                    continue
+                try:
+                    nodes[node] = self._storage_rpc(node).compact()
+                except (SealedError, NodeDownError, RpcTimeout) as exc:
+                    nodes[node] = {"error": type(exc).__name__}
+        return nodes

@@ -153,6 +153,28 @@ class CorfuCluster:
     def total_storage_writes(self) -> int:
         return sum(u.writes for u in self._units.values())
 
+    def store_status(self):
+        """Per-unit storage accounting, aggregated in process.
+
+        Reads the units directly (like :meth:`total_storage_reads`), so
+        callers holding client-side locks can use it without issuing
+        RPCs; remote deployments use
+        :meth:`~repro.corfu.client.CorfuClient.store_status` instead.
+        """
+        nodes = {
+            name: unit.store_status()
+            for name, unit in sorted(self._units.items())
+            if not unit.is_down
+        }
+        return {
+            "nodes": nodes,
+            "segments": sum(n["segments"] for n in nodes.values()),
+            "disk_bytes": sum(n["disk_bytes"] for n in nodes.values()),
+            "resident_bytes": sum(
+                n["resident_bytes"] for n in nodes.values()
+            ),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         p = self.projection
         return (

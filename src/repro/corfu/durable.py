@@ -22,10 +22,13 @@ Replaying the file rebuilds the unit exactly; torn trailing records
 
 from __future__ import annotations
 
+import logging
 import os
 import struct
 
 from repro.corfu.storage import FlashUnit
+
+logger = logging.getLogger(__name__)
 
 _FRAME = struct.Struct("<BQQI")
 _OP_WRITE = ord("W")
@@ -61,11 +64,16 @@ class DurableFlashUnit(FlashUnit):
             raw = f.read()
         pos = 0
         valid = 0
+        torn_reason = None
         while pos + _FRAME.size <= len(raw):
             op, epoch, address, length = _FRAME.unpack_from(raw, pos)
             body_start = pos + _FRAME.size
             if body_start + length > len(raw):
-                break  # torn record
+                torn_reason = (
+                    f"torn frame at byte {pos} (need {length} body bytes, "
+                    f"{len(raw) - body_start} left)"
+                )
+                break
             data = raw[body_start : body_start + length]
             if op == _OP_WRITE:
                 # Recovery replays frames the guarded write() path
@@ -85,10 +93,20 @@ class DurableFlashUnit(FlashUnit):
             elif op == _OP_SEAL:
                 self._epoch = max(self._epoch, epoch)
             else:
+                torn_reason = f"unknown frame op 0x{op:02x} at byte {pos}"
                 break  # corrupt record: stop trusting the tail
             pos = body_start + length
             valid = pos
         if valid < len(raw):
+            if torn_reason is None:
+                torn_reason = f"torn frame header at byte {valid}"
+            logger.warning(
+                "durable log %s: %s; discarding %d trailing bytes "
+                "(crash mid-append)",
+                self._path,
+                torn_reason,
+                len(raw) - valid,
+            )
             # Truncate the torn tail so future appends stay parseable.
             with open(self._path, "ab") as f:
                 f.truncate(valid)
@@ -129,7 +147,16 @@ class DurableFlashUnit(FlashUnit):
 def open_durable_cluster(data_dir: str, **kwargs):
     """A :class:`~repro.corfu.cluster.CorfuCluster` backed by *data_dir*.
 
-    Each storage node persists to ``<data_dir>/<node-name>.flash``.
+    By default each storage node persists to a segment-store directory
+    ``<data_dir>/<node-name>.store`` (see :mod:`repro.store`); a legacy
+    flat file ``<data_dir>/<node-name>.flash`` is migrated into it on
+    first open and renamed to ``.flash.migrated``. Pass
+    ``segmented=False`` for the original single-flat-file layout.
+
+    Extra storage knobs (all optional): ``segment_bytes`` (roll size),
+    ``sync`` (fsync per frame, default True), ``compaction_policy`` (a
+    :class:`~repro.store.compactor.CompactionPolicy`).
+
     Reopening the same directory reconstructs the whole log — Tango
     clients then rebuild their views from it as usual. The sequencer is
     soft state and recovers via the slow check on first use after a
@@ -139,11 +166,27 @@ def open_durable_cluster(data_dir: str, **kwargs):
     from repro.corfu.cluster import CorfuCluster
 
     recover_sequencer = kwargs.pop("recover_sequencer", True)
+    segmented = kwargs.pop("segmented", True)
+    segment_bytes = kwargs.pop("segment_bytes", None)
+    sync = kwargs.pop("sync", True)
+    compaction_policy = kwargs.pop("compaction_policy", None)
     os.makedirs(data_dir, exist_ok=True)
     cluster = CorfuCluster(**kwargs)
     for name in list(cluster._units):  # noqa: SLF001 - factory wiring
         path = os.path.join(data_dir, f"{name}.flash")
-        cluster._units[name] = DurableFlashUnit(name, path)
+        if segmented:
+            from repro.store import DEFAULT_SEGMENT_BYTES, SegmentedFlashUnit
+
+            cluster._units[name] = SegmentedFlashUnit(
+                name,
+                os.path.join(data_dir, f"{name}.store"),
+                segment_bytes=segment_bytes or DEFAULT_SEGMENT_BYTES,
+                sync=sync,
+                policy=compaction_policy,
+                migrate_flat=path,
+            )
+        else:
+            cluster._units[name] = DurableFlashUnit(name, path)
     if recover_sequencer:
         projection = cluster.projection
         tail = reconfig.slow_check_tail(cluster, projection)

@@ -231,6 +231,47 @@ class FlashUnit:
             self._check_up()
             return sorted(self._pages)
 
+    def store_status(self):
+        """Storage accounting for this unit (admin RPC; read-only).
+
+        The in-memory base unit has no segments; subclasses backed by
+        :mod:`repro.store` override this with disk/compaction detail
+        using the same keys.
+        """
+        with self._lock:
+            self._check_up()
+            return {
+                "kind": "memory",
+                "name": self.name,
+                "epoch": self._epoch,
+                "trimmed_prefix": self._trimmed_prefix,
+                "pages": len(self._pages),
+                "resident_bytes": sum(len(d) for d in self._pages.values()),
+                "segments": 0,
+                "sealed_segments": 0,
+                "disk_bytes": 0,
+                "data_bytes": 0,
+                "dead_bytes": 0,
+                "live_bytes": 0,
+                "garbage_ratio": 0.0,
+                "compaction": {},
+            }
+
+    def compact(self):
+        """Reclaim dead storage now (admin RPC; idempotent).
+
+        The in-memory unit frees trimmed pages eagerly, so this is a
+        no-op reported as zero work; segmented units override it.
+        """
+        with self._lock:
+            self._check_up()
+        return {
+            "segments_compacted": 0,
+            "segments_written": 0,
+            "frames_dropped": 0,
+            "bytes_reclaimed": 0,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "down" if self._down else f"epoch={self._epoch}"
         return f"<FlashUnit {self.name} {state} pages={len(self._pages)}>"

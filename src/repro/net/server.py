@@ -277,12 +277,31 @@ class NodeServer:
             return {"id": rid, "err": encode_error(exc)}
 
 
-def _build_node(kind: str, name: str, k: int):
+def _build_node(
+    kind: str,
+    name: str,
+    k: int,
+    data_dir: Optional[str] = None,
+    segment_bytes: Optional[int] = None,
+    compact_interval: float = 0.0,
+):
     from repro.corfu.sequencer import Sequencer
     from repro.corfu.storage import FlashUnit
 
     if kind == "storage":
-        return FlashUnit(name)
+        if data_dir is None:
+            return FlashUnit(name)
+        from repro.store import DEFAULT_SEGMENT_BYTES, SegmentedFlashUnit
+
+        unit = SegmentedFlashUnit(
+            name,
+            os.path.join(data_dir, f"{name}.store"),
+            segment_bytes=segment_bytes or DEFAULT_SEGMENT_BYTES,
+            migrate_flat=os.path.join(data_dir, f"{name}.flash"),
+        )
+        if compact_interval > 0:
+            unit.start_compaction(compact_interval)
+        return unit
     if kind == "sequencer":
         return Sequencer(name, k=k)
     raise ValueError(f"unknown node kind {kind!r}")
@@ -304,6 +323,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--k", type=int, default=4, help="sequencer backpointers per stream"
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="persist a storage node to segmented durable storage under "
+        "this directory (a legacy <name>.flash file there is migrated)",
+    )
+    parser.add_argument(
+        "--segment-bytes",
+        type=int,
+        default=None,
+        help="segment roll size for --data-dir storage",
+    )
+    parser.add_argument(
+        "--compact-interval",
+        type=float,
+        default=0.0,
+        help="seconds between background compaction sweeps for "
+        "--data-dir storage (0 disables; the 'compact' RPC always works)",
+    )
     args = parser.parse_args(argv)
 
     monitor = None
@@ -312,7 +350,16 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         monitor = lockcheck.install()
 
-    node = _build_node(args.kind, args.name, args.k)
+    if args.data_dir is not None and args.kind == "storage":
+        os.makedirs(args.data_dir, exist_ok=True)
+    node = _build_node(
+        args.kind,
+        args.name,
+        args.k,
+        data_dir=args.data_dir if args.kind == "storage" else None,
+        segment_bytes=args.segment_bytes,
+        compact_interval=args.compact_interval,
+    )
     server = NodeServer(host=args.host, port=args.port)
     server.register(args.name, node)
     server.start()

@@ -58,6 +58,10 @@ STORAGE_OPS = frozenset(
         "seal",
         "local_tail",
         "written_addresses",
+        # Storage-admin plane: segment/compaction introspection and a
+        # manual compaction trigger (no-ops on in-memory units).
+        "store_status",
+        "compact",
     }
 )
 

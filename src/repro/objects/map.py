@@ -43,6 +43,30 @@ class TangoMap(TangoObject):
     def load_checkpoint(self, state: bytes) -> None:
         self._map = json.loads(state.decode("utf-8"))
 
+    def get_checkpoint_delta(self, keys) -> bytes:
+        """Serialize only the entries behind the changed version *keys*.
+
+        ``clear`` is unkeyed, so the runtime forces a full checkpoint
+        after one — a delta never has to express "everything vanished".
+        """
+        puts: Dict[str, Any] = {}
+        dels = []
+        for raw in sorted(keys):
+            key = raw.decode("utf-8")
+            if key in self._map:
+                puts[key] = self._map[key]
+            else:
+                dels.append(key)
+        return json.dumps({"set": puts, "del": dels}, sort_keys=True).encode(
+            "utf-8"
+        )
+
+    def load_checkpoint_delta(self, state: bytes) -> None:
+        delta = json.loads(state.decode("utf-8"))
+        self._map.update(delta.get("set", {}))
+        for key in delta.get("del", ()):
+            self._map.pop(key, None)
+
     # -- mutators ---------------------------------------------------------------
 
     def put(self, key: str, value: Any) -> None:

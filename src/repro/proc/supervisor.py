@@ -57,6 +57,12 @@ class NodeSpec:
     host: str = "127.0.0.1"
     port: int = 0
     k: int = 4
+    #: Storage nodes only: host segmented durable storage under this
+    #: directory (``--data-dir``); None keeps the node in-memory.
+    data_dir: Optional[str] = None
+    #: Background compaction sweep interval for durable storage nodes
+    #: (seconds; 0 leaves compaction RPC-triggered only).
+    compact_interval: float = 0.0
 
 
 def cluster_specs(
@@ -66,6 +72,8 @@ def cluster_specs(
     standby_sequencers: int = 0,
     host: str = "127.0.0.1",
     k: int = 4,
+    data_dir: Optional[str] = None,
+    compact_interval: float = 0.0,
 ) -> List[NodeSpec]:
     """Specs for the standard NxR layout plus its sequencer(s).
 
@@ -77,7 +85,14 @@ def cluster_specs(
     first sequencer failover work over the wire.
     """
     specs = [
-        NodeSpec(name=f"flash-{i}-{j}", kind="storage", host=host, k=k)
+        NodeSpec(
+            name=f"flash-{i}-{j}",
+            kind="storage",
+            host=host,
+            k=k,
+            data_dir=data_dir,
+            compact_interval=compact_interval,
+        )
         for i in range(num_sets)
         for j in range(replication_factor)
     ]
@@ -159,22 +174,27 @@ class Supervisor:
         env["PYTHONPATH"] = (
             src_dir if not prior else src_dir + os.pathsep + prior
         )
+        argv = [
+            self._python,
+            "-m",
+            "repro.net.server",
+            "--name",
+            spec.name,
+            "--kind",
+            spec.kind,
+            "--host",
+            spec.host,
+            "--port",
+            str(spec.port),
+            "--k",
+            str(spec.k),
+        ]
+        if spec.data_dir is not None and spec.kind == "storage":
+            argv += ["--data-dir", spec.data_dir]
+            if spec.compact_interval > 0:
+                argv += ["--compact-interval", str(spec.compact_interval)]
         process = subprocess.Popen(
-            [
-                self._python,
-                "-m",
-                "repro.net.server",
-                "--name",
-                spec.name,
-                "--kind",
-                spec.kind,
-                "--host",
-                spec.host,
-                "--port",
-                str(spec.port),
-                "--k",
-                str(spec.k),
-            ],
+            argv,
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,

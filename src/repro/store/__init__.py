@@ -1,0 +1,47 @@
+"""repro.store — segmented durable log storage with background compaction.
+
+Layout:
+
+- :mod:`repro.store.segment` — segment files (flat-compatible frames,
+  per-segment index, footer checksum), crash recovery, flat-file reader;
+- :mod:`repro.store.compactor` — garbage-ratio policy plus an inline or
+  threaded compactor that rewrites still-live entries past the trim
+  point into fresh segments;
+- :mod:`repro.store.flash` — :class:`SegmentedFlashUnit`, the
+  drop-in durable unit built on the above.
+
+See ``docs/STORAGE.md`` for the on-disk formats and knobs.
+"""
+
+from repro.store.compactor import CompactionPolicy, Compactor
+from repro.store.flash import SegmentedFlashUnit
+from repro.store.segment import (
+    DEFAULT_SEGMENT_BYTES,
+    FRAME,
+    OP_SEAL,
+    OP_TRIM,
+    OP_TRIM_PREFIX,
+    OP_WRITE,
+    SegmentInfo,
+    SegmentStore,
+    pack_frame,
+    parse_frames,
+    read_flat_log,
+)
+
+__all__ = [
+    "CompactionPolicy",
+    "Compactor",
+    "DEFAULT_SEGMENT_BYTES",
+    "FRAME",
+    "OP_SEAL",
+    "OP_TRIM",
+    "OP_TRIM_PREFIX",
+    "OP_WRITE",
+    "SegmentInfo",
+    "SegmentStore",
+    "SegmentedFlashUnit",
+    "pack_frame",
+    "parse_frames",
+    "read_flat_log",
+]

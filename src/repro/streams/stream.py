@@ -23,6 +23,7 @@ caches it").
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,12 @@ SCAN_WINDOW = 32
 
 #: Known upcoming offsets prefetched per batched RPC during playback.
 PLAYBACK_PREFETCH = 8
+
+#: Estimated fixed per-entry cost charged against a cache byte budget,
+#: on top of the payload: LogEntry + header objects + the cache's dict
+#: slot. A rough constant — the budget bounds growth, it is not an
+#: allocator.
+CACHE_ENTRY_OVERHEAD = 200
 
 
 class _InflightFetch:
@@ -77,9 +84,28 @@ class _StreamState:
         self.offsets: List[int] = []  # ascending offsets known to belong here
         self.known: set = set()
         self.read_ptr = 0  # index into `offsets` of the next entry to deliver
+        # Highest offset forgotten to a prefix trim (memory-bounded
+        # mode); everything at or below it was delivered-or-reclaimed.
+        self.trim_floor = NO_BACKPOINTER
 
     def highest_known(self) -> int:
-        return self.offsets[-1] if self.offsets else NO_BACKPOINTER
+        return self.offsets[-1] if self.offsets else self.trim_floor
+
+    def forget_below(self, horizon: int) -> int:
+        """Drop linked-list entries below *horizon* (a trimmed prefix).
+
+        The dropped offsets read as junk forever, so neither playback
+        nor checkpoint scans can miss anything. Returns the number of
+        offsets dropped; the iterator keeps its logical position.
+        """
+        k = bisect_left(self.offsets, horizon)
+        if k:
+            self.known.difference_update(self.offsets[:k])
+            del self.offsets[:k]
+            self.read_ptr = max(0, self.read_ptr - k)
+        if horizon - 1 > self.trim_floor:
+            self.trim_floor = horizon - 1
+        return k
 
     def extend(self, new_offsets: Sequence[int]) -> None:
         """Add newly discovered offsets (all greater than the current max)."""
@@ -124,6 +150,10 @@ class StreamClient:
         self._streams: Dict[int, _StreamState] = {}
         self._cache: "OrderedDict[int, LogEntry]" = OrderedDict()
         self._cache_entries = cache_entries
+        # Optional cache byte budget (memory-bounded mode); None keeps
+        # the entry-count cap alone.
+        self._cache_budget: Optional[int] = None
+        self._cache_bytes = 0
         self._prefetch_window = prefetch_window
         # Guards _cache and _inflight. Separate from the iterator lock
         # so a thread waiting on another's in-flight fetch never blocks
@@ -131,9 +161,6 @@ class StreamClient:
         self._cache_lock = threading.Lock()
         self._inflight: Dict[int, _InflightFetch] = {}
         self._hole_handler = hole_handler or self._default_hole_handler
-        # GC must actually free client memory: evict cached entries for
-        # offsets the log reclaims, whoever drives the trim.
-        corfu.subscribe_trim(self._on_trim)
         # Serializes iterator/cache state across application threads:
         # every method that reads or moves read_ptr/offsets (readnext,
         # seek, peek_offset, reset, position, pending, known_offsets,
@@ -142,6 +169,10 @@ class StreamClient:
         # like indexed-map reads. Reentrant because readnext fetches
         # (and caches) entries while holding it.
         self._lock = threading.RLock()
+        # GC must actually free client memory: evict cached entries for
+        # offsets the log reclaims, whoever drives the trim. Registered
+        # last — the callback uses both locks.
+        corfu.subscribe_trim(self._on_trim)
         # Counters for tests / the performance model.
         self.sync_reads = 0
         self.backward_scans = 0
@@ -261,12 +292,30 @@ class StreamClient:
         except TrimmedError:
             return LogEntry.junk()
 
+    @staticmethod
+    def _entry_bytes(entry: LogEntry) -> int:
+        return len(entry.payload) + CACHE_ENTRY_OVERHEAD
+
     def _cache_insert_locked(self, offset: int, entry: LogEntry) -> None:
         """Insert into the LRU cache; caller holds ``_cache_lock``."""
+        old = self._cache.get(offset)
+        if old is not None:
+            self._cache_bytes -= self._entry_bytes(old)
         self._cache[offset] = entry
         self._cache.move_to_end(offset)
-        if len(self._cache) > self._cache_entries:
-            self._cache.popitem(last=False)
+        self._cache_bytes += self._entry_bytes(entry)
+        self._cache_shrink_locked()
+
+    def _cache_shrink_locked(self) -> None:
+        """Evict LRU entries past the entry cap or the byte budget."""
+        budget = self._cache_budget
+        while len(self._cache) > self._cache_entries or (
+            budget is not None
+            and self._cache_bytes > budget
+            and len(self._cache) > 1
+        ):
+            _off, victim = self._cache.popitem(last=False)
+            self._cache_bytes -= self._entry_bytes(victim)
 
     def _fetch_many_best_effort(self, offsets: Sequence[int]) -> int:
         """Warm the cache for *offsets* in one batched read per chain.
@@ -369,14 +418,38 @@ class StreamClient:
         with self._cache_lock:
             return tuple(sorted(self._cache))
 
+    def set_cache_budget(self, budget: Optional[int]) -> None:
+        """Cap the entry cache at *budget* bytes (None removes the cap).
+
+        Memory-bounded mode: the cache evicts least-recently-used
+        entries until it fits, on every insert and right here. Entry
+        cost is ``len(payload) + CACHE_ENTRY_OVERHEAD``.
+        """
+        if budget is not None and budget <= 0:
+            raise ValueError("cache budget must be a positive byte count")
+        with self._cache_lock:
+            self._cache_budget = budget
+            self._cache_shrink_locked()
+
+    def resident_bytes(self) -> int:
+        """Estimated bytes held by the entry cache."""
+        with self._cache_lock:
+            return self._cache_bytes
+
     def _on_trim(self, offset: int, is_prefix: bool) -> None:
-        """Evict cache entries the log just reclaimed.
+        """Release client memory the log just reclaimed.
 
         Registered with :meth:`CorfuClient.subscribe_trim`; runs on the
         trimming thread after the cluster-side trim succeeds. Without
         this the cache would keep serving entries whose offsets the log
         has already handed back to GC — unbounded memory on a client
         that plays a long-lived, checkpointed stream.
+
+        In memory-bounded mode (a byte budget is set) a prefix trim
+        additionally drops the per-stream linked-list entries below the
+        horizon: those offsets read as junk forever, so keeping their
+        bookkeeping would grow client memory with total log history
+        instead of live history.
         """
         with self._cache_lock:
             if is_prefix:
@@ -384,7 +457,12 @@ class StreamClient:
             else:
                 stale = [offset] if offset in self._cache else []
             for off in stale:
-                del self._cache[off]
+                self._cache_bytes -= self._entry_bytes(self._cache.pop(off))
+            bounded = self._cache_budget is not None
+        if is_prefix and bounded:
+            with self._lock:
+                for state in self._streams.values():
+                    state.forget_below(offset)
 
     # -- sync: bring the linked list up to date ------------------------------------
 
@@ -631,11 +709,16 @@ class StreamClient:
                 yield offset, self.fetch(offset)
 
     def position(self, stream_id: int) -> int:
-        """Offset of the last delivered entry (NO_BACKPOINTER before any)."""
+        """Offset of the last delivered entry (NO_BACKPOINTER before any).
+
+        After a prefix trim forgot delivered offsets (memory-bounded
+        mode), the trim floor stands in for them: everything at or
+        below it is part of the delivered history.
+        """
         with self._lock:
             state = self._state(stream_id)
             if state.read_ptr == 0:
-                return NO_BACKPOINTER
+                return state.trim_floor
             return state.offsets[state.read_ptr - 1]
 
     def pending(self, stream_id: int) -> int:

@@ -70,6 +70,29 @@ class TangoObject:
             f"{type(self).__name__} does not implement checkpoints"
         )
 
+    def get_checkpoint_delta(self, keys) -> bytes:
+        """Optional upcall: serialize only the sub-state behind *keys*.
+
+        *keys* is the set of fine-grained version keys the runtime saw
+        change since this object's last checkpoint. A read-only
+        accessor: implementing it (together with
+        :meth:`load_checkpoint_delta`) opts the object into incremental
+        :class:`~repro.tango.records.DeltaCheckpointRecord` emission.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement delta checkpoints"
+        )
+
+    def load_checkpoint_delta(self, state: bytes) -> None:
+        """Optional upcall: fold one delta-checkpoint state into the view.
+
+        Called after :meth:`load_checkpoint` installed the chain's full
+        base, once per delta record oldest-first.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement delta checkpoints"
+        )
+
     # -- helpers for subclasses --------------------------------------------------
 
     @property

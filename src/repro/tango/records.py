@@ -17,6 +17,9 @@ kinds exist:
   read set (section 4.1, case C).
 - :class:`CheckpointRecord` — an object-provided snapshot of a view,
   with the version state needed for conflict checks after a reload.
+- :class:`DeltaCheckpointRecord` — an incremental snapshot covering only
+  the keys changed since a base checkpoint, chained via ``base_offset``
+  so hot objects stop serializing full state every checkpoint.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ _KIND_UPDATE = 1
 _KIND_COMMIT = 2
 _KIND_DECISION = 3
 _KIND_CHECKPOINT = 4
+_KIND_DELTA_CHECKPOINT = 5
 
 #: Sentinel version for "never modified" (encodes as all-ones u64).
 NO_VERSION = -1
@@ -231,6 +235,12 @@ class CheckpointRecord:
     #: Last offset of an *unkeyed* modification, carried exactly so that
     #: a reloaded view makes bit-identical commit/abort decisions.
     unkeyed_version: int = NO_VERSION
+    #: Version-eviction horizon of the writer's table (memory-bounded
+    #: mode): keys absent from ``key_versions`` but present in
+    #: ``evicted_filter`` are conservatively at this version.
+    version_floor: int = NO_VERSION
+    #: Serialized evicted-key filter (empty when nothing was evicted).
+    evicted_filter: bytes = b""
 
     def _encode_body(self, buf: bytearray) -> None:
         pack_u32(buf, self.oid)
@@ -242,6 +252,8 @@ class CheckpointRecord:
             encode_bytes(buf, key)
             _pack_version(buf, version)
         encode_bytes(buf, self.state)
+        _pack_version(buf, self.version_floor)
+        encode_bytes(buf, self.evicted_filter)
 
     @staticmethod
     def _decode_body(buf: bytes, off: int) -> Tuple["CheckpointRecord", int]:
@@ -256,19 +268,109 @@ class CheckpointRecord:
             version, off = _unpack_version(buf, off)
             keys.append((key, version))
         state, off = decode_bytes(buf, off)
+        floor, off = _unpack_version(buf, off)
+        evicted, off = decode_bytes(buf, off)
         record = CheckpointRecord(
-            oid, covers, obj_version, tuple(keys), state, unkeyed_version=unkeyed
+            oid,
+            covers,
+            obj_version,
+            tuple(keys),
+            state,
+            unkeyed_version=unkeyed,
+            version_floor=floor,
+            evicted_filter=evicted,
         )
         return record, off
 
 
-Record = Union[UpdateRecord, CommitRecord, DecisionRecord, CheckpointRecord]
+@dataclass(frozen=True)
+class DeltaCheckpointRecord:
+    """An incremental checkpoint: changes since a base checkpoint.
+
+    ``base_offset`` names the log offset of the record this delta builds
+    on — a full :class:`CheckpointRecord` or an earlier delta, forming a
+    chain back to a full base. A loader applies the base's state, then
+    each delta's ``state`` oldest-first (the object's
+    ``load_checkpoint_delta`` upcall), and overlays ``key_versions`` the
+    same way. ``depth`` is this record's distance from the full base
+    (1 = directly on a full checkpoint); the runtime caps it so chains
+    stay cheap to reconstruct.
+    """
+
+    oid: int
+    base_offset: int
+    covers_offset: int
+    object_version: int
+    key_versions: Tuple[Tuple[bytes, int], ...]
+    state: bytes
+    unkeyed_version: int = NO_VERSION
+    version_floor: int = NO_VERSION
+    evicted_filter: bytes = b""
+    depth: int = 1
+
+    def _encode_body(self, buf: bytearray) -> None:
+        pack_u32(buf, self.oid)
+        pack_u64(buf, self.base_offset)
+        _pack_version(buf, self.covers_offset)
+        _pack_version(buf, self.object_version)
+        _pack_version(buf, self.unkeyed_version)
+        pack_u16(buf, self.depth)
+        pack_u32(buf, len(self.key_versions))
+        for key, version in self.key_versions:
+            encode_bytes(buf, key)
+            _pack_version(buf, version)
+        encode_bytes(buf, self.state)
+        _pack_version(buf, self.version_floor)
+        encode_bytes(buf, self.evicted_filter)
+
+    @staticmethod
+    def _decode_body(
+        buf: bytes, off: int
+    ) -> Tuple["DeltaCheckpointRecord", int]:
+        oid, off = unpack_u32(buf, off)
+        base, off = unpack_u64(buf, off)
+        covers, off = _unpack_version(buf, off)
+        obj_version, off = _unpack_version(buf, off)
+        unkeyed, off = _unpack_version(buf, off)
+        depth, off = unpack_u16(buf, off)
+        nkeys, off = unpack_u32(buf, off)
+        keys = []
+        for _ in range(nkeys):
+            key, off = decode_bytes(buf, off)
+            version, off = _unpack_version(buf, off)
+            keys.append((key, version))
+        state, off = decode_bytes(buf, off)
+        floor, off = _unpack_version(buf, off)
+        evicted, off = decode_bytes(buf, off)
+        record = DeltaCheckpointRecord(
+            oid,
+            base,
+            covers,
+            obj_version,
+            tuple(keys),
+            state,
+            unkeyed_version=unkeyed,
+            version_floor=floor,
+            evicted_filter=evicted,
+            depth=depth,
+        )
+        return record, off
+
+
+Record = Union[
+    UpdateRecord,
+    CommitRecord,
+    DecisionRecord,
+    CheckpointRecord,
+    DeltaCheckpointRecord,
+]
 
 _KIND_OF = {
     UpdateRecord: _KIND_UPDATE,
     CommitRecord: _KIND_COMMIT,
     DecisionRecord: _KIND_DECISION,
     CheckpointRecord: _KIND_CHECKPOINT,
+    DeltaCheckpointRecord: _KIND_DELTA_CHECKPOINT,
 }
 
 _DECODER_OF = {
@@ -276,6 +378,7 @@ _DECODER_OF = {
     _KIND_COMMIT: CommitRecord._decode_body,
     _KIND_DECISION: DecisionRecord._decode_body,
     _KIND_CHECKPOINT: CheckpointRecord._decode_body,
+    _KIND_DELTA_CHECKPOINT: DeltaCheckpointRecord._decode_body,
 }
 
 

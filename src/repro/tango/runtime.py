@@ -37,6 +37,7 @@ from repro.errors import (
     NoActiveTransaction,
     ObjectExistsError,
     RemoteReadError,
+    ReproError,
     TangoError,
     TransactionAborted,
     UnknownObjectError,
@@ -48,6 +49,7 @@ from repro.tango.records import (
     CheckpointRecord,
     CommitRecord,
     DecisionRecord,
+    DeltaCheckpointRecord,
     Record,
     UpdateRecord,
     decode_records,
@@ -62,6 +64,11 @@ from repro.util.ident import default_source
 #: in-process deployment a missing decision means its generator crashed
 #: mid-protocol; the application resolves via publish_decision.
 _MAX_DECISION_WAIT_ROUNDS = 3
+
+#: Longest delta-checkpoint chain (deltas since the last full
+#: checkpoint) the runtime will emit before forcing a full one. Loading
+#: a chain costs one random read per link, so this bounds reload cost.
+MAX_DELTA_CHAIN = 8
 
 
 class TangoRuntime:
@@ -78,6 +85,12 @@ class TangoRuntime:
             :func:`repro.util.ident.seed_identities` so replay tests
             can pin transaction ids).
         name: diagnostic label.
+        memory_budget: byte budget for client-side caches
+            (memory-bounded mode). When set, the stream client's entry
+            cache evicts LRU entries past the budget, and a prefix trim
+            of the log evicts version-table entries below the trim
+            horizon (replaced by a conservative per-object floor, so
+            conflict checks can only get stricter, never wrong).
     """
 
     def __init__(
@@ -85,6 +98,7 @@ class TangoRuntime:
         streams,
         client_id: Optional[int] = None,
         name: str = "client",
+        memory_budget: Optional[int] = None,
     ) -> None:
         if not isinstance(streams, StreamClient):
             # Convenience: accept a CorfuCluster directly.
@@ -123,6 +137,25 @@ class TangoRuntime:
         # Optional dynamic decision-record scheme (section 4.1).
         self._hosting_registry = None
 
+        # Delta-checkpoint state: the version keys modified since each
+        # object's last checkpoint (what a delta has to carry), objects
+        # that saw an unkeyed update since then (forces a full
+        # checkpoint — a delta cannot express "anything may have
+        # changed"), and per-object (last checkpoint offset, chain
+        # depth) so deltas know their base.
+        self._dirty_keys: Dict[int, Set[bytes]] = {}
+        self._dirty_full: Set[int] = set()
+        self._checkpoint_chains: Dict[int, Tuple[int, int]] = {}
+        self.max_delta_chain = MAX_DELTA_CHAIN
+
+        # Memory-bounded mode.
+        if memory_budget is not None and memory_budget <= 0:
+            raise ValueError("memory_budget must be a positive byte count")
+        self._memory_budget = memory_budget
+        if memory_budget is not None:
+            self._streams.set_cache_budget(memory_budget)
+        self._streams.corfu.subscribe_trim(self._on_prefix_trim)
+
         # Statistics (read by tests and the benchmark harness).
         self.stats = {
             "commits": 0,
@@ -130,6 +163,9 @@ class TangoRuntime:
             "applied_updates": 0,
             "decisions_published": 0,
             "read_only_commits": 0,
+            "full_checkpoints": 0,
+            "delta_checkpoints": 0,
+            "evicted_versions": 0,
         }
         # Observability hooks: event name -> callbacks (see subscribe).
         self._subscribers: Dict[str, List] = {}
@@ -150,7 +186,8 @@ class TangoRuntime:
           client *decided* (its own or a consumed one);
         - ``decision`` — ``{tx_id, committed}``: a decision record this
           client published;
-        - ``checkpoint`` — ``{oid, offset, covers}``.
+        - ``checkpoint`` — ``{oid, offset, covers, delta}`` (*delta* is
+          True for an incremental checkpoint record).
 
         Callbacks run synchronously on the playback path; keep them
         cheap (metrics counters, trace buffers). Exceptions propagate —
@@ -208,6 +245,9 @@ class TangoRuntime:
         with self._play_lock:
             self._objects.pop(oid, None)
             self._versions.drop_object(oid)
+            self._dirty_keys.pop(oid, None)
+            self._dirty_full.discard(oid)
+            self._checkpoint_chains.pop(oid, None)
             if self._streams.is_open(oid):
                 self._streams.reset(oid)
 
@@ -229,7 +269,11 @@ class TangoRuntime:
 
         Scans newest-first, prefetching the candidate offsets in small
         batched reads (the checkpoint is usually within the last few
-        entries, so a full-stream batch would over-read).
+        entries, so a full-stream batch would over-read). A delta
+        checkpoint is loaded by walking its ``base_offset`` chain back
+        to a full checkpoint; a chain that cannot be reconstructed
+        (trimmed base, hole) is skipped and the scan continues with
+        older candidates.
         """
         offsets = list(reversed(self._streams.known_offsets(oid)))
         for i, offset in enumerate(offsets):
@@ -239,16 +283,71 @@ class TangoRuntime:
             if entry.is_junk:
                 continue
             for record in decode_records(entry.payload):
-                if isinstance(record, CheckpointRecord) and record.oid == oid:
-                    obj.load_checkpoint(record.state)
-                    self._versions.load_checkpoint(
-                        oid,
-                        record.object_version,
-                        record.key_versions,
-                        record.unkeyed_version,
-                    )
-                    self._streams.seek(oid, record.covers_offset)
-                    return
+                if (
+                    isinstance(record, (CheckpointRecord, DeltaCheckpointRecord))
+                    and record.oid == oid
+                ):
+                    if self._load_checkpoint_chain(oid, obj, offset, record):
+                        return
+
+    def _load_checkpoint_chain(self, oid: int, obj, offset: int, newest) -> bool:
+        """Install *newest* (plus its delta chain, if any) into *obj*.
+
+        Returns False when the chain cannot be reconstructed — the base
+        was trimmed, lost to a hole, or the chain is malformed — in
+        which case the caller falls back to older candidates.
+        """
+        chain = [newest]
+        cursor = newest
+        prev_offset = offset
+        while isinstance(cursor, DeltaCheckpointRecord):
+            # Bases sit strictly earlier in the log; anything else is a
+            # malformed (or cyclic) chain.
+            if cursor.base_offset >= prev_offset:
+                return False
+            try:
+                entry = self._streams.fetch(cursor.base_offset)
+            except ReproError:
+                return False
+            if entry.is_junk:
+                return False
+            base = None
+            for record in decode_records(entry.payload):
+                if (
+                    isinstance(record, (CheckpointRecord, DeltaCheckpointRecord))
+                    and record.oid == oid
+                ):
+                    base = record
+                    break
+            if base is None:
+                return False
+            chain.append(base)
+            prev_offset = cursor.base_offset
+            cursor = base
+        full = chain[-1]
+        obj.load_checkpoint(full.state)
+        self._versions.load_checkpoint(
+            oid,
+            full.object_version,
+            full.key_versions,
+            full.unkeyed_version,
+            full.version_floor,
+            full.evicted_filter,
+        )
+        for delta in reversed(chain[:-1]):
+            obj.load_checkpoint_delta(delta.state)
+            self._versions.load_checkpoint(
+                oid,
+                delta.object_version,
+                delta.key_versions,
+                delta.unkeyed_version,
+                delta.version_floor,
+                delta.evicted_filter,
+            )
+        self._streams.seek(oid, newest.covers_offset)
+        depth = newest.depth if isinstance(newest, DeltaCheckpointRecord) else 0
+        self._checkpoint_chains[oid] = (offset, depth)
+        return True
 
     # ------------------------------------------------------------------
     # the paper's helper API (Figure 3)
@@ -603,28 +702,115 @@ class TangoRuntime:
     # checkpoint / forget (section 3.1)
     # ------------------------------------------------------------------
 
-    def checkpoint(self, oid: int) -> int:
-        """Store a snapshot of *oid*'s view in the log; returns its offset."""
+    def checkpoint(self, oid: int, mode: str = "auto") -> int:
+        """Store a snapshot of *oid*'s view in the log; returns its offset.
+
+        *mode* selects between full and incremental snapshots:
+
+        - ``"full"``  — a :class:`CheckpointRecord` carrying the whole
+          view, always valid;
+        - ``"delta"`` — a :class:`DeltaCheckpointRecord` carrying only
+          the sub-state behind the version keys modified since the last
+          checkpoint, chained to it via ``base_offset``. Requires the
+          object to implement the delta upcalls, a base checkpoint this
+          session, and no unkeyed update since it (raises
+          :class:`~repro.errors.TangoError` otherwise);
+        - ``"auto"``  — delta when all of the above hold and the chain
+          is shorter than :data:`MAX_DELTA_CHAIN`, else full.
+        """
+        if mode not in ("auto", "full", "delta"):
+            raise ValueError(f"unknown checkpoint mode {mode!r}")
         with self._play_lock:
             obj = self._objects.get(oid)
             if obj is None:
                 raise UnknownObjectError(f"object {oid} has no local view")
-            return self._checkpoint_locked(oid, obj)
+            return self._checkpoint_locked(oid, obj, mode)
 
-    def _checkpoint_locked(self, oid: int, obj) -> int:
-        covers = self._streams.position(oid)
-        record = CheckpointRecord(
-            oid,
-            covers,
-            self._versions.get(oid),
-            self._versions.snapshot_keys(oid),
-            obj.get_checkpoint(),
-            unkeyed_version=self._versions.snapshot_unkeyed(oid),
+    @staticmethod
+    def _supports_delta(obj) -> bool:
+        """True when *obj* overrides both delta-checkpoint upcalls."""
+        from repro.tango.object import TangoObject
+
+        get_fn = getattr(type(obj), "get_checkpoint_delta", None)
+        load_fn = getattr(type(obj), "load_checkpoint_delta", None)
+        return (
+            get_fn is not None
+            and load_fn is not None
+            and get_fn is not TangoObject.get_checkpoint_delta
+            and load_fn is not TangoObject.load_checkpoint_delta
         )
+
+    def _checkpoint_locked(self, oid: int, obj, mode: str = "auto") -> int:
+        chain = self._checkpoint_chains.get(oid)
+        use_delta = False
+        if mode == "delta":
+            if not self._supports_delta(obj):
+                raise TangoError(
+                    f"object {oid} does not implement delta checkpoints"
+                )
+            if chain is None:
+                raise TangoError(
+                    f"object {oid} has no base checkpoint to delta against; "
+                    f"take a full checkpoint first"
+                )
+            if oid in self._dirty_full:
+                raise TangoError(
+                    f"object {oid} saw an unkeyed update since its last "
+                    f"checkpoint; a delta cannot express it — take a full "
+                    f"checkpoint"
+                )
+            use_delta = True
+        elif mode == "auto":
+            use_delta = (
+                self._supports_delta(obj)
+                and chain is not None
+                and chain[1] < self.max_delta_chain
+                and oid not in self._dirty_full
+            )
+        covers = self._streams.position(oid)
+        floor, evicted = self._versions.eviction_snapshot(oid)
+        if use_delta:
+            assert chain is not None
+            keys = sorted(self._dirty_keys.get(oid, ()))
+            record: Record = DeltaCheckpointRecord(
+                oid,
+                chain[0],
+                covers,
+                self._versions.get(oid),
+                tuple((k, self._versions.get(oid, k)) for k in keys),
+                obj.get_checkpoint_delta(frozenset(keys)),
+                unkeyed_version=self._versions.snapshot_unkeyed(oid),
+                version_floor=floor,
+                evicted_filter=evicted,
+                depth=chain[1] + 1,
+            )
+        else:
+            record = CheckpointRecord(
+                oid,
+                covers,
+                self._versions.get(oid),
+                self._versions.snapshot_keys(oid),
+                obj.get_checkpoint(),
+                unkeyed_version=self._versions.snapshot_unkeyed(oid),
+                version_floor=floor,
+                evicted_filter=evicted,
+            )
         offset = self._streams.append(encode_records([record]), (oid,))
+        depth = chain[1] + 1 if use_delta else 0
+        self._checkpoint_chains[oid] = (offset, depth)
+        self._dirty_keys.pop(oid, None)
+        if not use_delta:
+            self._dirty_full.discard(oid)
+        self.stats["delta_checkpoints" if use_delta else "full_checkpoints"] += 1
         if self._subscribers:
             self._emit(
-                "checkpoint", {"oid": oid, "offset": offset, "covers": covers}
+                "checkpoint",
+                {
+                    "oid": oid,
+                    "offset": offset,
+                    "covers": covers,
+                    "delta": use_delta,
+                },
             )
         return offset
 
@@ -663,12 +849,45 @@ class TangoRuntime:
         unpin the log fully, call this for every object and for the
         directory itself *last* (its checkpoint must cover the forget
         records just appended). Returns the checkpoint's log offset.
+
+        Always takes a *full* checkpoint: a delta's base chain lives
+        below the new checkpoint in the log, exactly where a later GC
+        pass is entitled to trim.
         """
         self.query_helper(oid)
         covers = self._streams.position(oid)
-        offset = self.checkpoint(oid)
+        offset = self.checkpoint(oid, mode="full")
         directory.forget(oid, covers)
         return offset
+
+    # ------------------------------------------------------------------
+    # memory-bounded mode
+    # ------------------------------------------------------------------
+
+    def _on_prefix_trim(self, offset: int, is_prefix: bool) -> None:
+        """Trim subscriber: release client memory the log just reclaimed.
+
+        Registered with :meth:`CorfuClient.subscribe_trim`; active only
+        in memory-bounded mode. Once the prefix below *offset* is
+        trimmed, exact version-table entries below it are replaced by
+        the conservative eviction floor, and decided-transaction
+        bookkeeping for commit records below the horizon is dropped
+        (their entries can never be replayed again — they read as
+        junk).
+        """
+        if not is_prefix or self._memory_budget is None:
+            return
+        with self._play_lock:
+            self.stats["evicted_versions"] += self._versions.evict_below(offset)
+            doomed = [
+                tx_id
+                for tx_id, (off, _record) in self._pending_records.items()
+                if off < offset
+            ]
+            for tx_id in doomed:
+                del self._pending_records[tx_id]
+                self._decided.pop(tx_id, None)
+                self._own_commits.pop(tx_id, None)
 
     # ------------------------------------------------------------------
     # merged playback
@@ -734,7 +953,7 @@ class TangoRuntime:
             # Handled by the bypass when awaited; otherwise this client
             # already decided locally (or never saw the commit) — ignore.
             pass
-        elif isinstance(record, CheckpointRecord):
+        elif isinstance(record, (CheckpointRecord, DeltaCheckpointRecord)):
             # Checkpoints are consumed only by the registration path.
             pass
         else:  # pragma: no cover - future-proofing
@@ -759,6 +978,10 @@ class TangoRuntime:
             offset if version_offset is None else version_offset,
             record.key,
         )
+        if record.key is None:
+            self._dirty_full.add(record.oid)
+        else:
+            self._dirty_keys.setdefault(record.oid, set()).add(record.key)
         self.stats["applied_updates"] += 1
         if self._subscribers:
             self._emit(
@@ -935,13 +1158,21 @@ class TangoRuntime:
                     for update in record.inline_updates:
                         if update.oid == oid:
                             table.bump(oid, offset, update.key)
-                elif isinstance(record, CheckpointRecord):
+                elif isinstance(
+                    record, (CheckpointRecord, DeltaCheckpointRecord)
+                ):
+                    # A full checkpoint installs its version state; a
+                    # delta overlays only its changed keys — its base
+                    # appeared earlier in the same stream, so the replay
+                    # already folded the base state in.
                     if record.oid == oid:
                         table.load_checkpoint(
                             oid,
                             record.object_version,
                             record.key_versions,
                             record.unkeyed_version,
+                            record.version_floor,
+                            record.evicted_filter,
                         )
         return table
 
@@ -1065,7 +1296,50 @@ class TangoRuntime:
                 # timeouts, duplicates, drops, reordered) for the
                 # cluster connection.
                 "net": self._streams.corfu.net_stats(),
+                # Client- and cluster-side storage accounting; built
+                # from in-process state only (no RPCs — status() must
+                # stay safe to call from anywhere, including transport
+                # fault hooks).
+                "store": self._store_status_locked(),
             }
+
+    def _store_status_locked(self) -> dict:
+        store: dict = {
+            "memory_budget": self._memory_budget,
+            "versions": self._versions.resident_stats(),
+            "stream_cache": {
+                "entries": self._streams.cache_size,
+                "resident_bytes": self._streams.resident_bytes(),
+            },
+            "checkpoint_chains": {
+                oid: depth
+                for oid, (_off, depth) in sorted(
+                    self._checkpoint_chains.items()
+                )
+            },
+        }
+        # Segment/compaction accounting lives on the storage units; the
+        # in-process cluster aggregates it without issuing RPCs.
+        aggregate = getattr(
+            getattr(self._streams.corfu, "_cluster", None), "store_status", None
+        )
+        if callable(aggregate):
+            try:
+                store["cluster"] = aggregate()
+            except ReproError:
+                pass  # a sealed/degraded cluster still gets client stats
+        return store
+
+    def store_status(self) -> dict:
+        """Cluster-wide storage survey over the admin RPC plane.
+
+        Unlike :meth:`status` (in-process state only), this issues one
+        ``store_status`` RPC per storage node, reporting segment
+        counts, garbage ratios, and compaction counters as the nodes
+        themselves see them. Unreachable nodes appear as
+        ``{"error": ...}`` entries.
+        """
+        return self._streams.corfu.store_status()
 
     @property
     def streams(self) -> StreamClient:

@@ -20,13 +20,23 @@ TANGO_BASE_NAMES = frozenset({"TangoObject"})
 #: The only methods allowed to write view attributes (section 3.1: the
 #: apply upcall, checkpoint restoration, and construction of the empty
 #: view).
-VIEW_WRITERS = frozenset({"__init__", "apply", "load_checkpoint"})
+VIEW_WRITERS = frozenset(
+    {"__init__", "apply", "load_checkpoint", "load_checkpoint_delta"}
+)
 
 #: Methods that may read the view without a preceding sync: the runtime
 #: invokes them at controlled points (upcalls run under playback; the
 #: constructor builds the empty view; __repr__ is a debug aid).
 VIEW_READERS_EXEMPT = frozenset(
-    {"__init__", "apply", "load_checkpoint", "get_checkpoint", "__repr__"}
+    {
+        "__init__",
+        "apply",
+        "load_checkpoint",
+        "load_checkpoint_delta",
+        "get_checkpoint",
+        "get_checkpoint_delta",
+        "__repr__",
+    }
 )
 
 #: Container methods that mutate their receiver in place.

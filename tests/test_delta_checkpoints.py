@@ -1,0 +1,230 @@
+"""Tests for delta (incremental) checkpoints."""
+
+import pytest
+
+from repro.errors import TangoError, TrimmedError
+from repro.objects import TangoIndexedMap, TangoMap
+from repro.tango.directory import TangoDirectory
+from repro.tango.runtime import MAX_DELTA_CHAIN
+
+
+class TestModeSelection:
+    def test_unknown_mode_rejected(self, make_runtime):
+        rt = make_runtime()
+        TangoMap(rt, oid=1).put("a", 1)
+        with pytest.raises(ValueError):
+            rt.checkpoint(1, mode="incremental")
+
+    def test_auto_emits_full_then_deltas(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        m.put("a", 1)
+        m.get("a")
+        rt.checkpoint(1)  # no base yet: full
+        m.put("b", 2)
+        m.get("b")
+        rt.checkpoint(1)  # chained: delta
+        m.put("c", 3)
+        m.get("c")
+        rt.checkpoint(1)  # still chained: delta
+        assert rt.stats["full_checkpoints"] == 1
+        assert rt.stats["delta_checkpoints"] == 2
+
+    def test_auto_falls_back_to_full_without_delta_support(self, make_runtime):
+        rt = make_runtime()
+        idx = TangoIndexedMap(rt, oid=1)
+        idx.put("a", 1)
+        idx.get("a")
+        rt.checkpoint(1)
+        idx.put("b", 2)
+        idx.get("b")
+        rt.checkpoint(1)
+        assert rt.stats["full_checkpoints"] == 2
+        assert rt.stats["delta_checkpoints"] == 0
+
+    def test_unkeyed_update_forces_full(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        m.put("a", 1)
+        m.get("a")
+        rt.checkpoint(1)
+        m.clear()  # unkeyed: a delta cannot express it
+        m.size()  # play the clear
+        rt.checkpoint(1)
+        assert rt.stats["full_checkpoints"] == 2
+        assert rt.stats["delta_checkpoints"] == 0
+
+    def test_chain_length_capped(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        for i in range(MAX_DELTA_CHAIN + 2):
+            m.put(f"k{i}", i)
+            m.get(f"k{i}")
+            rt.checkpoint(1)
+        # One base, MAX_DELTA_CHAIN deltas, then a fresh full.
+        assert rt.stats["full_checkpoints"] == 2
+        assert rt.stats["delta_checkpoints"] == MAX_DELTA_CHAIN
+
+    def test_checkpoint_event_reports_delta_flag(self, make_runtime):
+        rt = make_runtime()
+        events = []
+        rt.subscribe("checkpoint", events.append)
+        m = TangoMap(rt, oid=1)
+        m.put("a", 1)
+        m.get("a")
+        rt.checkpoint(1)
+        m.put("b", 2)
+        m.get("b")
+        rt.checkpoint(1)
+        assert [e["delta"] for e in events] == [False, True]
+
+
+class TestExplicitDeltaMode:
+    def test_requires_delta_support(self, make_runtime):
+        rt = make_runtime()
+        idx = TangoIndexedMap(rt, oid=1)
+        idx.put("a", 1)
+        idx.get("a")
+        rt.checkpoint(1, mode="full")
+        with pytest.raises(TangoError, match="delta"):
+            rt.checkpoint(1, mode="delta")
+
+    def test_requires_base(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        m.put("a", 1)
+        m.get("a")
+        with pytest.raises(TangoError, match="base"):
+            rt.checkpoint(1, mode="delta")
+
+    def test_rejects_unkeyed_dirty_state(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        m.put("a", 1)
+        m.get("a")
+        rt.checkpoint(1, mode="full")
+        m.clear()
+        m.size()
+        with pytest.raises(TangoError, match="unkeyed"):
+            rt.checkpoint(1, mode="delta")
+
+    def test_full_mode_always_allowed(self, make_runtime):
+        rt = make_runtime()
+        m = TangoMap(rt, oid=1)
+        m.put("a", 1)
+        m.get("a")
+        rt.checkpoint(1)
+        m.put("b", 2)
+        m.get("b")
+        rt.checkpoint(1, mode="full")  # override auto's delta choice
+        assert rt.stats["full_checkpoints"] == 2
+        assert rt.stats["delta_checkpoints"] == 0
+
+
+class TestReload:
+    def test_fresh_client_loads_through_chain(self, make_runtime):
+        rt1 = make_runtime()
+        m1 = TangoMap(rt1, oid=1)
+        m1.put("a", 1)
+        m1.put("b", 2)
+        m1.get("b")
+        rt1.checkpoint(1)  # full: {a, b}
+        m1.put("c", 3)
+        m1.remove("a")
+        m1.get("c")
+        rt1.checkpoint(1)  # delta: +c, -a
+        m1.put("d", 4)
+        m1.get("d")
+        rt1.checkpoint(1)  # delta: +d
+
+        rt2 = make_runtime()
+        m2 = TangoMap(rt2, oid=1)
+        assert m2.items() == (("b", 2), ("c", 3), ("d", 4))
+        assert m2.get("a") is None
+        # The reload went through the chain (and adopted it as its own
+        # base for future deltas), not a from-zero replay.
+        assert rt2.status()["store"]["checkpoint_chains"].get(1, 0) >= 1
+
+    def test_delta_only_covers_dirty_keys(self, make_runtime):
+        """Updates between checkpoints land in exactly one delta."""
+        rt1 = make_runtime()
+        m1 = TangoMap(rt1, oid=1)
+        for i in range(5):
+            m1.put(f"base{i}", i)
+        m1.size()
+        rt1.checkpoint(1)
+        m1.put("base2", 99)  # overwrite: dirty key
+        m1.get("base2")
+        rt1.checkpoint(1)
+        rt2 = make_runtime()
+        m2 = TangoMap(rt2, oid=1)
+        assert m2.get("base2") == 99  # delta won over the base value
+        assert m2.size() == 5
+
+    def test_updates_after_last_delta_still_replayed(self, make_runtime):
+        rt1 = make_runtime()
+        m1 = TangoMap(rt1, oid=1)
+        m1.put("a", 1)
+        m1.get("a")
+        rt1.checkpoint(1)
+        m1.put("b", 2)
+        m1.get("b")
+        rt1.checkpoint(1)
+        m1.put("late", 3)  # after the newest checkpoint's cover
+        rt2 = make_runtime()
+        m2 = TangoMap(rt2, oid=1)
+        assert m2.get("late") == 3
+        assert m2.size() == 3
+
+    def test_conflict_detection_survives_delta_reload(self, make_runtime):
+        """Version state carried by the chain still detects conflicts."""
+        rt1 = make_runtime()
+        m1 = TangoMap(rt1, oid=1)
+        m1.put("k", 0)
+        m1.get("k")
+        rt1.checkpoint(1)
+        m1.put("k", 1)
+        m1.get("k")
+        rt1.checkpoint(1)  # delta carries k's bumped version
+
+        rt2 = make_runtime()
+        m2 = TangoMap(rt2, oid=1)
+        m2.get("k")
+        rt2.begin_tx()
+        _ = m2.get("k")
+        m2.put("k", 2)
+        m1.put("k", 99)  # conflicting write from the other client
+        assert rt2.end_tx() is False
+
+
+class TestGCInteraction:
+    def test_checkpoint_and_forget_takes_full(self, make_client):
+        rt, directory = make_client()
+        m = directory.open(TangoMap, "obj")
+        m.put("a", 1)
+        m.get("a")
+        rt.checkpoint(m.oid)
+        m.put("b", 2)
+        m.get("b")
+        # Would be a delta under auto; checkpoint_and_forget must not.
+        rt.checkpoint_and_forget(m.oid, directory)
+        assert rt.stats["full_checkpoints"] == 2
+        assert rt.stats["delta_checkpoints"] == 0
+
+    def test_reload_after_gc_under_delta_usage(self, make_client, cluster):
+        """GC after delta checkpoints never strands a fresh client."""
+        rt, directory = make_client()
+        m = directory.open(TangoMap, "obj")
+        for i in range(6):
+            m.put(f"k{i}", i)
+            m.get(f"k{i}")
+            rt.checkpoint(m.oid)  # builds a delta chain
+        rt.checkpoint_and_forget(m.oid, directory)
+        rt.checkpoint_and_forget(directory.oid, directory)
+        assert directory.gc() > 0
+        with pytest.raises(TrimmedError):
+            cluster.client().read(0)
+        _rt2, d2 = make_client()
+        fresh = d2.open(TangoMap, "obj")
+        assert fresh.size() == 6
+        assert fresh.get("k3") == 3

@@ -78,6 +78,38 @@ class TestDurableFlashUnit:
         final = DurableFlashUnit("u", path)
         assert final.read(1, epoch=0) == b"after"
 
+    def test_torn_tail_is_reported(self, tmp_path, caplog):
+        """Crash injection: a torn tail replays with a loud warning."""
+        path = str(tmp_path / "unit.flash")
+        unit = DurableFlashUnit("u", path)
+        unit.write(0, b"complete", epoch=0)
+        unit.close()
+        # Crash mid-append: a full frame header promising more body
+        # bytes than were ever written.
+        import struct
+
+        with open(path, "ab") as f:
+            f.write(struct.pack("<BQQI", ord("W"), 0, 1, 4096))
+            f.write(b"only-part-of-the-body")
+        with caplog.at_level("WARNING", logger="repro.corfu.durable"):
+            reopened = DurableFlashUnit("u", path)
+        torn = [
+            r for r in caplog.records if "crash mid-append" in r.getMessage()
+        ]
+        assert len(torn) == 1
+        assert "discarding" in torn[0].getMessage()
+        assert "torn frame" in torn[0].getMessage()
+        # The tear was discarded, not applied.
+        assert reopened.read(0, epoch=0) == b"complete"
+        with pytest.raises(UnwrittenError):
+            reopened.read(1, epoch=0)
+        reopened.close()
+        # A second reopen is quiet: the tail was truncated for good.
+        caplog.clear()
+        with caplog.at_level("WARNING", logger="repro.corfu.durable"):
+            DurableFlashUnit("u", path).close()
+        assert not caplog.records
+
     def test_local_tail_after_reopen(self, tmp_path):
         path = str(tmp_path / "unit.flash")
         unit = DurableFlashUnit("u", path)

@@ -81,7 +81,9 @@ class TestSubscribe:
         m.put("a", 1)
         m.get("a")
         offset = rt.checkpoint(1)
-        assert events == [{"oid": 1, "offset": offset, "covers": 0}]
+        assert events == [
+            {"oid": 1, "offset": offset, "covers": 0, "delta": False}
+        ]
 
     def test_multiple_subscribers(self, make_runtime):
         rt = make_runtime()

@@ -61,6 +61,36 @@ SAMPLES = {
     "seal": ((4,), {}, 12),
     "local_tail": ((), {}, 12),
     "written_addresses": ((), {}, [0, 1, 5]),
+    "store_status": (
+        (),
+        {},
+        {
+            "kind": "segmented",
+            "name": "flash-0-0",
+            "epoch": 3,
+            "trimmed_prefix": 40,
+            "pages": 12,
+            "resident_bytes": 8192,
+            "segments": 3,
+            "sealed_segments": 2,
+            "disk_bytes": 16384,
+            "data_bytes": 15000,
+            "dead_bytes": 600,
+            "live_bytes": 14400,
+            "garbage_ratio": 0.04,
+            "compaction": {"runs": 2, "bytes_reclaimed": 4096},
+        },
+    ),
+    "compact": (
+        (),
+        {},
+        {
+            "segments_compacted": 2,
+            "segments_written": 1,
+            "frames_dropped": 64,
+            "bytes_reclaimed": 4096,
+        },
+    ),
     "increment": (
         ((1, 2),),
         {"epoch": 3, "count": 2},
