@@ -30,7 +30,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
 )
 
-from repro.bench.experiments import fig2_sequencer  # noqa: E402
+from repro.bench.experiments import fig2_sequencer, fig2_sharded  # noqa: E402
 from repro.corfu import CorfuCluster  # noqa: E402
 from repro.objects import TangoMap, TangoRegister  # noqa: E402
 from repro.streams import StreamClient  # noqa: E402
@@ -180,7 +180,42 @@ def scenario_store_durable_append(window: float) -> dict:
 def scenario_sequencer_grant(window: float) -> dict:
     cluster = CorfuCluster(num_sets=3, replication_factor=2)
     client = cluster.client()
-    return _timed_loop(lambda: client.check(fast=True), window)
+    result = _timed_loop(lambda: client.check(fast=True), window)
+
+    # Contended variant: 8 threads, one client each, all hammering the
+    # same single-shard sequencer. This is the lock-convoy number the
+    # sharded sequencer exists to beat; it rides along in the artifact
+    # so the two are always diffed together.
+    import threading
+
+    contended = CorfuCluster(num_sets=3, replication_factor=2)
+    clients = [contended.client(name=f"bench-{i}") for i in range(8)]
+    counts = [0] * 8
+    stop = threading.Event()
+
+    def worker(i: int) -> None:
+        c = clients[i]
+        while not stop.is_set():
+            c.check(fast=True)
+            counts[i] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(8)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    time.sleep(window)
+    stop.set()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    result["contended_threads"] = 8
+    result["contended_ops_per_sec"] = (
+        round(sum(counts) / elapsed, 2) if elapsed > 0 else 0.0
+    )
+    return result
 
 
 # -- wire scenarios (real OS processes over TCP, --wire only) ------------
@@ -258,6 +293,46 @@ def scenario_fig2_sequencer(window: float) -> dict:
     }
 
 
+def scenario_fig2_sharded(window: float) -> dict:
+    """Figure 2 workload with the sequencer sharded by stream group.
+
+    The calibrated model gives the plateau at 1 and 4 shards (1 shard
+    must reproduce ``fig2_sequencer``; 4 shards must clear 2x). A short
+    burst against a real 4-shard :class:`CorfuCluster` — single-group
+    appends plus a cross-shard multiappend taking a vector grant — rides
+    along so ``REPRO_LOCKCHECK=1`` witnesses the shard locks and the
+    canonical-order acquisition in the same run.
+    """
+    rows = fig2_sharded(
+        shard_counts=(1, 4),
+        client_counts=(1, 8, 40),
+        duration=window,
+        warmup=window / 4,
+    )
+    plateau = {
+        shards: max(
+            round(r["kreq_per_sec"], 1) for r in rows if r["shards"] == shards
+        )
+        for shards in (1, 4)
+    }
+
+    cluster = CorfuCluster(num_sets=3, replication_factor=2, seq_shards=4)
+    client = cluster.client()
+    sids = iter(range(1 << 30))
+    real = _timed_loop(
+        lambda: client.append(PAYLOAD, (next(sids) % 4,)), min(window, 0.05)
+    )
+    client.append(PAYLOAD, (1, 2))  # cross-shard vector grant
+
+    return {
+        "shards": 4,
+        "plateau_kreq_per_sec": plateau[1],
+        "plateau_kreq_per_sec_4shards": plateau[4],
+        "shard_speedup": round(plateau[4] / plateau[1], 2),
+        "real_4shard_append_ops_per_sec": real["ops_per_sec"],
+    }
+
+
 SCENARIOS = [
     ("corfu_append", scenario_corfu_append),
     ("corfu_append_batch", scenario_corfu_append_batch),
@@ -269,6 +344,7 @@ SCENARIOS = [
     ("store_durable_append", scenario_store_durable_append),
     ("sequencer_grant", scenario_sequencer_grant),
     ("fig2_sequencer", scenario_fig2_sequencer),
+    ("fig2_sharded", scenario_fig2_sharded),
 ]
 
 #: Multi-process scenarios, enabled by --wire: each launches its own

@@ -4,7 +4,7 @@ Paper: "as we add clients to the system, sequencer throughput increases
 until it plateaus at around 570K requests/sec."
 """
 
-from repro.bench.experiments import fig2_sequencer
+from repro.bench.experiments import fig2_sequencer, fig2_sharded
 
 CLIENTS = (1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40)
 
@@ -29,3 +29,33 @@ def test_fig2_sequencer_throughput(benchmark, show):
     # Saturation: the last three points are within a few percent.
     tail = [r["kreq_per_sec"] for r in rows[-3:]]
     assert max(tail) - min(tail) < 0.05 * plateau
+
+
+def test_fig2_sharded_breaks_the_ceiling(benchmark, show):
+    """Sharding the sequencer by stream group scales past Fig. 2's plateau."""
+    rows = benchmark.pedantic(
+        fig2_sharded,
+        kwargs={
+            "shard_counts": (1, 4),
+            "client_counts": (1, 8, 40),
+            "duration": 0.03,
+            "warmup": 0.01,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "Figure 2, sharded: plateau vs sequencer shard count",
+        rows,
+        columns=("shards", "clients", "kreq_per_sec", "paper_plateau_kreq"),
+    )
+    plateau = {
+        shards: max(
+            r["kreq_per_sec"] for r in rows if r["shards"] == shards
+        )
+        for shards in (1, 4)
+    }
+    # One shard is bit-for-bit the classic dense counter: same plateau.
+    assert 0.9 * 570 <= plateau[1] <= 1.1 * 570
+    # Four shards clear at least 2x the single-counter ceiling.
+    assert plateau[4] >= 2.0 * plateau[1]

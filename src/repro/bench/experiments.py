@@ -142,6 +142,55 @@ def fig2_sequencer(
 
 
 # ---------------------------------------------------------------------------
+# Figure 2, sharded: per-stream-group sequencer shards vs the plateau
+# ---------------------------------------------------------------------------
+
+
+def fig2_sharded(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    client_counts: Sequence[int] = (1, 8, 40),
+    window: int = 8,
+    duration: float = 0.05,
+    warmup: float = 0.01,
+    params: ModelParams = DEFAULT_PARAMS,
+) -> List[Row]:
+    """The Fig. 2 workload against a sharded sequencer.
+
+    Each client's streams live in one stream group, so its grants route
+    to the shard owning ``client % shards``. With ``shards=1`` this is
+    exactly :func:`fig2_sequencer` (one CPU server named ``sequencer``);
+    with N shards the single-counter ceiling splits across N
+    independently-modeled sequencer CPUs and the plateau scales.
+    """
+    rows: List[Row] = []
+    for shards in shard_counts:
+        for n in client_counts:
+            sim = Simulator()
+            cluster = ModeledCluster(
+                sim, num_clients=n, params=params, seq_shards=shards
+            )
+            counter = Counter()
+            for c in range(n):
+                for _ in range(window):
+                    sim.spawn(
+                        _closed_loop(
+                            sim, counter, warmup,
+                            lambda c=c: cluster.sequencer_rpc(c),
+                        )
+                    )
+            sim.run(until=warmup + duration)
+            rows.append(
+                {
+                    "shards": shards,
+                    "clients": n,
+                    "kreq_per_sec": counter.throughput(duration) / 1e3,
+                    "paper_plateau_kreq": 570.0,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Figure 8 (left): single view latency vs throughput
 # ---------------------------------------------------------------------------
 

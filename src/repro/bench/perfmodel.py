@@ -37,7 +37,7 @@ plus one 4KB entry fetch from the offset the view points at.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.engine import Server, Simulator
 from repro.sim.network import Nic
@@ -81,17 +81,33 @@ class ModeledCluster:
         replication: int = 2,
         num_clients: int = 18,
         params: ModelParams = DEFAULT_PARAMS,
+        seq_shards: int = 1,
     ) -> None:
         self.sim = sim
         self.params = params
         self.num_sets = num_sets
         self.replication = replication
         self.num_clients = num_clients
+        self.seq_shards = seq_shards
         p = params
-        self.seq_cpu = Server(sim, capacity=1, name="sequencer")
-        self.seq_nic = Nic(sim, p.nic_bandwidth * 10, p.net_latency, "seq")
+        if seq_shards == 1:
+            self.seq_cpus = [Server(sim, capacity=1, name="sequencer")]
+            self.seq_nics = [Nic(sim, p.nic_bandwidth * 10, p.net_latency, "seq")]
+        else:
+            self.seq_cpus = [
+                Server(sim, capacity=1, name=f"sequencer.{i}")
+                for i in range(seq_shards)
+            ]
+            self.seq_nics = [
+                Nic(sim, p.nic_bandwidth * 10, p.net_latency, f"seq.{i}")
+                for i in range(seq_shards)
+            ]
+        self.seq_cpu = self.seq_cpus[0]
+        self.seq_nic = self.seq_nics[0]
         # The sequencer machine is "powerful, 32-core" with a fat pipe;
         # its NIC is 10GbE-class so the CPU is the plateau, as in Fig 2.
+        # Sharding replaces the one machine with ``seq_shards`` peers,
+        # each owning the stream group ``sid % seq_shards``.
         self.storage_nic: Dict[Tuple[int, int], Nic] = {}
         self.ssd: Dict[Tuple[int, int], Server] = {}
         for s in range(num_sets):
@@ -121,15 +137,23 @@ class ModeledCluster:
         self._tail += 1
         return offset
 
-    def sequencer_rpc(self, client: int) -> float:
-        """One round-trip to the sequencer (check or increment)."""
+    def sequencer_rpc(self, client: int, stream: Optional[int] = None) -> float:
+        """One round-trip to the owning sequencer shard (check or
+        increment). With one shard this is bit-for-bit the classic
+        single-counter path; with N shards the request routes to the
+        shard owning ``stream % N`` (default: the client's home group,
+        modeling clients whose streams hash across groups)."""
         p = self.params
+        sid = client if stream is None else stream
+        shard = sid % self.seq_shards
+        seq_cpu = self.seq_cpus[shard]
+        seq_nic = self.seq_nics[shard]
         nic = self.client_nic[client]
-        out = nic.send(p.small_rpc_bytes) + self.seq_nic.rx.transfer(
+        out = nic.send(p.small_rpc_bytes) + seq_nic.rx.transfer(
             p.small_rpc_bytes
         )
-        svc = self.seq_cpu.acquire(p.seq_service)
-        back = self.seq_nic.tx.transfer(p.small_rpc_bytes) + nic.recv(
+        svc = seq_cpu.acquire(p.seq_service)
+        back = seq_nic.tx.transfer(p.small_rpc_bytes) + nic.recv(
             p.small_rpc_bytes
         )
         return out + svc + back

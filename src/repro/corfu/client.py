@@ -38,6 +38,7 @@ from repro.corfu.cluster import CorfuCluster
 from repro.corfu.entry import (
     NO_BACKPOINTER,
     LogEntry,
+    encode_vector_marker,
     make_header,
     max_payload_bytes,
 )
@@ -48,6 +49,7 @@ from repro.errors import (
     RetriesExhaustedError,
     RpcTimeout,
     SealedError,
+    StaleGrantError,
     TooManyStreamsError,
     TrimmedError,
     UnwrittenError,
@@ -58,7 +60,14 @@ from repro.errors import (
 #: error *instance* (not raised) describing why the offset has none.
 ReadOutcome = Union[LogEntry, UnwrittenError, TrimmedError]
 
-_MAX_RETRIES = 32
+#: Retry budget per bounded-retry path. Sized for the chaos suite's
+#: worst fault mix (10% request drops + 10% response drops + 10%
+#: reordering): a 3-hop chain write fails ~70% of attempts there, so a
+#: budget of 64 leaves ~1e-10 odds of a healthy-but-lossy deployment
+#: exhausting it — Hypothesis searching the seeded fault schedule
+#: cannot find a losing run, while a genuinely dead node still
+#: surfaces through the failure detector long before the budget.
+_MAX_RETRIES = 64
 
 #: Consecutive timeouts against one node before the client stops
 #: treating them as transient and drives reconfiguration around it
@@ -186,8 +195,16 @@ class CorfuClient:
         # projection before driving a redundant epoch change.
         self.refresh_projection()
         proj = self._projection
-        if exc.node == proj.sequencer:
+        if exc.node == proj.sequencer and not proj.seq_shards:
             reconfig.replace_sequencer(self._cluster, source=self.name)
+        elif exc.node in proj.sequencer_shards:
+            # Per-shard failover: only the dead shard is replaced; the
+            # surviving shards keep their soft state and keep issuing.
+            reconfig.replace_sequencer_shard(
+                self._cluster,
+                proj.sequencer_shards.index(exc.node),
+                source=self.name,
+            )
         elif exc.node in proj.all_nodes():
             reconfig.eject_storage_node(self._cluster, exc.node, source=self.name)
         self.refresh_projection()
@@ -269,6 +286,11 @@ class CorfuClient:
                 offset = self._append_once(payload, stream_ids)
             except WrittenError:
                 continue  # lost the race; take a new offset
+            except StaleGrantError:
+                # A racing single-shard append outran our vector grant;
+                # the reserved offsets are burned (holes) and the whole
+                # grant restarts from fresh reservations.
+                continue
             except SealedError:
                 self.refresh_projection()
             except NodeDownError as exc:
@@ -285,8 +307,88 @@ class CorfuClient:
 
     def _append_once(self, payload: bytes, stream_ids: Sequence[int]) -> int:
         proj = self._projection
-        seq = self._sequencer_rpc(proj.sequencer)
+        shards = proj.sequencer_shards
+        groups = sorted({sid % len(shards) for sid in stream_ids})
+        if len(groups) > 1:
+            return self._append_vector(proj, payload, stream_ids, groups)
+        # Single-group appends — the common case — touch exactly one
+        # shard's lock; a streamless append goes to shard 0.
+        seq = self._sequencer_rpc(shards[groups[0] if groups else 0])
         offset, backpointers = seq.increment(stream_ids, epoch=proj.epoch)
+        headers = tuple(
+            make_header(sid, backpointers[sid], offset, self._cluster.k)
+            for sid in stream_ids
+        )
+        entry = LogEntry(headers=headers, payload=payload)
+        raw = entry.encode(offset, self._cluster.k, self._cluster.max_streams)
+        self._complete_write(offset, raw)
+        with self._counter_lock:
+            self.appends += 1
+        return offset
+
+    def _append_vector(
+        self,
+        proj: Projection,
+        payload: bytes,
+        stream_ids: Sequence[int],
+        groups: Sequence[int],
+    ) -> int:
+        """Cross-shard multiappend via a two-phase vector grant.
+
+        Phase 1 reserves one stripe offset per touched shard in
+        ascending (canonical) shard order with a ratcheting floor, so
+        the last reservation is the vector's maximum — the offset the
+        entry is written at. Phase 2 commits that offset to each
+        touched shard (same order), which records it as every touched
+        stream's newest offset or rejects with
+        :class:`~repro.errors.StaleGrantError` if a racing append got
+        there first. The burned lower reservations get marker entries
+        naming the final offset so per-stripe recovery still finds the
+        cross-shard entry; then the data entry is written once.
+
+        No client-side lock is held across any of these RPCs, and the
+        shard locks are only ever taken one at a time server-side, so
+        the lock hierarchy gains no edges (TL011/TL012).
+        """
+        shards = proj.sequencer_shards
+        per_group: Dict[int, List[int]] = {}
+        for sid in stream_ids:
+            per_group.setdefault(sid % len(shards), []).append(sid)
+        reservations: List[Tuple[int, int]] = []  # (group, reserved offset)
+        floor = 0
+        for g in groups:
+            r = self._sequencer_rpc(shards[g]).reserve_group(
+                floor, epoch=proj.epoch
+            )
+            reservations.append((g, r))
+            floor = r + 1
+        offset = reservations[-1][1]
+        backpointers: Dict[int, Tuple[int, ...]] = {}
+        for g in groups:
+            backpointers.update(
+                self._sequencer_rpc(shards[g]).commit_group(
+                    per_group[g], offset, epoch=proj.epoch
+                )
+            )
+        # Markers before the data entry: once the entry is visible, its
+        # cross-shard membership must already be recoverable by a
+        # per-stripe backward scan.
+        for g, reserved in reservations[:-1]:
+            marker = LogEntry(
+                headers=(),
+                payload=encode_vector_marker(offset, per_group[g]),
+            )
+            raw = marker.encode(
+                reserved, self._cluster.k, self._cluster.max_streams
+            )
+            try:
+                self._complete_write(reserved, raw)
+            except WrittenError:
+                # A hole-filler junked the reservation first. The live
+                # shard already recorded the grant; only a later crash
+                # of that shard loses this one advisory backpointer,
+                # which K-redundancy absorbs.
+                pass
         headers = tuple(
             make_header(sid, backpointers[sid], offset, self._cluster.k)
             for sid in stream_ids
@@ -334,7 +436,13 @@ class CorfuClient:
         count = len(payloads)
         for attempt in range(_MAX_RETRIES):
             proj = self._projection
-            seq = self._sequencer_rpc(proj.sequencer)
+            shards = proj.sequencer_shards
+            groups = sorted({sid % len(shards) for sid in stream_ids})
+            if len(groups) > 1:
+                # A batch spanning shard groups would need one vector
+                # grant per entry anyway; take the per-entry path.
+                return [self.append(p, stream_ids) for p in payloads]
+            seq = self._sequencer_rpc(shards[groups[0] if groups else 0])
             try:
                 first, backpointers = seq.increment(
                     stream_ids, epoch=proj.epoch, count=count
@@ -351,7 +459,8 @@ class CorfuClient:
             else:
                 self._note_success()
                 return self._write_batch(
-                    first, payloads, stream_ids, backpointers
+                    first, payloads, stream_ids, backpointers,
+                    stride=len(shards),
                 )
         raise RetriesExhaustedError("append_batch", _MAX_RETRIES)
 
@@ -361,8 +470,14 @@ class CorfuClient:
         payloads: Sequence[bytes],
         stream_ids: Sequence[int],
         backpointers: Dict[int, Tuple[int, ...]],
+        stride: int = 1,
     ) -> List[int]:
-        """Chain-write a reserved batch; entry i backpoints into the batch."""
+        """Chain-write a reserved batch; entry i backpoints into the batch.
+
+        *stride* is the reservation spacing: 1 for the classic dense
+        sequencer, the shard count for a striped shard (whose grant
+        covers offsets ``first, first + stride, ...``).
+        """
         k = self._cluster.k
         prior = {
             sid: [p for p in backpointers[sid] if p != NO_BACKPOINTER]
@@ -370,11 +485,12 @@ class CorfuClient:
         }
         offsets: List[int] = []
         for i, payload in enumerate(payloads):
-            offset = first + i
+            offset = first + i * stride
             headers = tuple(
                 make_header(
                     sid,
-                    tuple(range(offset - 1, first - 1, -1)) + tuple(prior[sid]),
+                    tuple(range(offset - stride, first - 1, -stride))
+                    + tuple(prior[sid]),
                     offset,
                     k,
                 )
@@ -553,9 +669,12 @@ class CorfuClient:
             for attempt in range(_MAX_RETRIES):
                 proj = self._projection
                 try:
-                    tail, _ = self._sequencer_rpc(proj.sequencer).query(
-                        (), epoch=proj.epoch
-                    )
+                    tail = 0
+                    for name in proj.sequencer_shards:
+                        shard_tail, _ = self._sequencer_rpc(name).query(
+                            (), epoch=proj.epoch
+                        )
+                        tail = max(tail, shard_tail)
                 except SealedError:
                     self.refresh_projection()
                 except NodeDownError as exc:
@@ -602,13 +721,31 @@ class CorfuClient:
     def query_streams(
         self, stream_ids: Sequence[int]
     ) -> Tuple[int, Dict[int, Tuple[int, ...]]]:
-        """Sequencer query: tail + last-K offsets for each stream."""
+        """Sequencer query: tail + last-K offsets for each stream.
+
+        Only the shards owning the requested streams are queried (one
+        RPC each), so a sync touching one stream costs one round trip
+        regardless of shard count; the returned tail is the max over
+        the queried shards. With no stream ids, every shard is queried
+        (a full tail check).
+        """
         for attempt in range(_MAX_RETRIES):
             proj = self._projection
+            shards = proj.sequencer_shards
+            per_shard: Dict[str, List[int]] = {}
+            for sid in stream_ids:
+                per_shard.setdefault(shards[sid % len(shards)], []).append(sid)
+            if not per_shard:
+                per_shard = {name: [] for name in shards}
             try:
-                result = self._sequencer_rpc(proj.sequencer).query(
-                    stream_ids, epoch=proj.epoch
-                )
+                tail = 0
+                merged: Dict[int, Tuple[int, ...]] = {}
+                for name, sids in per_shard.items():
+                    shard_tail, tails = self._sequencer_rpc(name).query(
+                        sids, epoch=proj.epoch
+                    )
+                    tail = max(tail, shard_tail)
+                    merged.update(tails)
             except SealedError:
                 self.refresh_projection()
             except NodeDownError as exc:
@@ -617,7 +754,7 @@ class CorfuClient:
                 self._handle_timeout(exc, attempt)
             else:
                 self._note_success()
-                return result
+                return tail, merged
         raise RetriesExhaustedError("query_streams", _MAX_RETRIES)
 
     # -- hole filling and reclamation -----------------------------------------

@@ -36,8 +36,12 @@ class CorfuCluster:
         entry_size: fixed log entry size in bytes (deployment constant).
         max_streams: maximum streams per entry, i.e. the cap on how many
             objects one transaction may write (section 4.1).
+        seq_shards: number of sequencer shards. The default 1 is the
+            paper's single networked counter; N > 1 stripes the offset
+            space over N independently-locked shards (stream ``sid``
+            belongs to shard ``sid % N``).
         projection: custom initial projection (overrides num_sets /
-            replication_factor).
+            replication_factor / seq_shards).
         transport: the client↔node message boundary. Defaults to a
             :class:`~repro.net.LoopbackTransport` (direct calls); pass
             a :class:`~repro.net.FaultyTransport` to inject network
@@ -51,6 +55,7 @@ class CorfuCluster:
         k: int = DEFAULT_K,
         entry_size: int = DEFAULT_ENTRY_SIZE,
         max_streams: int = 16,
+        seq_shards: int = 1,
         projection: Optional[Projection] = None,
         transport: Optional[Transport] = None,
     ) -> None:
@@ -59,15 +64,21 @@ class CorfuCluster:
         self.max_streams = max_streams
         self.transport = transport if transport is not None else LoopbackTransport()
         if projection is None:
-            projection = build_projection(num_sets, replication_factor)
+            projection = build_projection(
+                num_sets, replication_factor, seq_shards=seq_shards
+            )
         self._projection = projection
         self._lock = threading.Lock()
         self._client_ids = iter(range(1, 1 << 31))
         self._units: Dict[str, FlashUnit] = {
             name: FlashUnit(name) for name in projection.all_nodes()
         }
+        shards = projection.sequencer_shards
         self._sequencers: Dict[str, Sequencer] = {
-            projection.sequencer: Sequencer(projection.sequencer, k=k)
+            name: Sequencer(
+                name, k=k, shard_index=i, num_shards=len(shards)
+            )
+            for i, name in enumerate(shards)
         }
 
     # -- membership ---------------------------------------------------------
@@ -102,10 +113,45 @@ class CorfuCluster:
         # Lazy creation happens under the lock: two clients racing to
         # reach a fresh sequencer after failover must agree on one
         # instance, or grants from the loser's copy duplicate offsets.
+        # A name appearing in the current projection's shard tuple gets
+        # that shard's stripe geometry; anything else (a replacement
+        # shard mid-failover) must be pre-created via
+        # :meth:`create_sequencer` with explicit striping.
         with self._lock:
             seq = self._sequencers.get(name)
             if seq is None:
-                seq = Sequencer(name, k=self.k)
+                shards = self._projection.sequencer_shards
+                if name in shards:
+                    seq = Sequencer(
+                        name,
+                        k=self.k,
+                        shard_index=shards.index(name),
+                        num_shards=len(shards),
+                    )
+                else:
+                    seq = Sequencer(name, k=self.k)
+                self._sequencers[name] = seq
+        return seq
+
+    def create_sequencer(
+        self, name: str, shard_index: int = 0, num_shards: int = 1
+    ) -> Sequencer:
+        """Create (or return) a sequencer with explicit stripe geometry.
+
+        Reconfiguration uses this to stand up a replacement shard
+        *before* the projection naming it is installed; racing failovers
+        of the same shard agree on one instance (first creation wins,
+        and replacement names are unique per epoch).
+        """
+        with self._lock:
+            seq = self._sequencers.get(name)
+            if seq is None:
+                seq = Sequencer(
+                    name,
+                    k=self.k,
+                    shard_index=shard_index,
+                    num_shards=num_shards,
+                )
                 self._sequencers[name] = seq
         return seq
 

@@ -206,6 +206,42 @@ class LogEntry:
         return LogEntry(tuple(headers), payload, is_junk=bool(junk_flag))
 
 
+# -- vector-grant markers ----------------------------------------------------
+
+#: Magic prefix of a vector-grant marker entry. A cross-shard
+#: multiappend reserves one offset per touched sequencer shard but
+#: writes its data at the highest reservation only; each burned
+#: reservation receives a headerless marker entry naming the final
+#: offset and the streams of that reservation's shard, so a per-shard
+#: recovery scan (which only reads its own stripe) still learns about
+#: cross-shard entries living in other stripes. Markers carry no
+#: stream headers — normal sync never sees them.
+SEQ_VECTOR_MAGIC = b"SEQVEC1"
+
+
+def encode_vector_marker(final_offset: int, stream_ids: Sequence[int]) -> bytes:
+    """Payload of the marker written at a burned vector-grant reservation."""
+    import json
+
+    body = {"offset": final_offset, "streams": sorted(stream_ids)}
+    return SEQ_VECTOR_MAGIC + json.dumps(
+        body, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+
+def decode_vector_marker(payload: bytes) -> Optional[Tuple[int, Tuple[int, ...]]]:
+    """Invert :func:`encode_vector_marker`; None if not a marker."""
+    import json
+
+    if not payload.startswith(SEQ_VECTOR_MAGIC):
+        return None
+    try:
+        body = json.loads(payload[len(SEQ_VECTOR_MAGIC):])
+        return int(body["offset"]), tuple(int(s) for s in body["streams"])
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
 def header_bytes(k: int) -> int:
     """On-flash size of one stream header with redundancy *k*.
 

@@ -60,12 +60,20 @@ class Projection:
         replica_sets: disjoint chains; offset *o* maps to set
             ``o % len(replica_sets)`` at local address
             ``o // len(replica_sets)``.
-        sequencer: name of the sequencer node for this epoch.
+        sequencer: name of the sequencer node for this epoch (or the
+            group label when the sequencer is sharded).
+        seq_shards: shard node names of a sharded sequencer group, in
+            shard order — shard ``i`` owns streams ``sid % N == i`` and
+            offsets ``≡ i (mod N)``. Empty means the classic single
+            sequencer named by ``sequencer``. Changing the shard
+            *count* changes the offset striping, so it is always an
+            epoch change (a new projection).
     """
 
     epoch: int
     replica_sets: Tuple[ReplicaSet, ...]
     sequencer: str
+    seq_shards: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.replica_sets:
@@ -76,6 +84,10 @@ class Projection:
                 if node in seen:
                     raise ValueError(f"node {node} appears in two replica sets")
                 seen.add(node)
+        if len(set(self.seq_shards)) != len(self.seq_shards):
+            raise ValueError(
+                f"duplicate sequencer shard names: {self.seq_shards}"
+            )
 
     def map_offset(self, offset: int) -> Tuple[ReplicaSet, int]:
         """Deterministic mapping: global offset -> (replica set, local address)."""
@@ -92,9 +104,64 @@ class Projection:
         """Every storage node named by this projection."""
         return [node for rset in self.replica_sets for node in rset]
 
+    # -- sequencer sharding -------------------------------------------------
+
+    @property
+    def sequencer_shards(self) -> Tuple[str, ...]:
+        """Shard node names, in shard order; ``(sequencer,)`` if unsharded."""
+        return self.seq_shards or (self.sequencer,)
+
+    @property
+    def num_seq_shards(self) -> int:
+        return len(self.sequencer_shards)
+
+    def shard_index_for_stream(self, stream_id: int) -> int:
+        """Index of the shard owning *stream_id* (``sid % N``)."""
+        return stream_id % self.num_seq_shards
+
+    def shard_for_stream(self, stream_id: int) -> str:
+        """Node name of the shard owning *stream_id*."""
+        return self.sequencer_shards[stream_id % self.num_seq_shards]
+
     def with_sequencer(self, sequencer: str) -> "Projection":
-        """Next-epoch projection with a replacement sequencer."""
+        """Next-epoch projection with a replacement (single) sequencer."""
+        if self.seq_shards:
+            raise ValueError(
+                "sequencer is sharded; replace one shard with "
+                "with_seq_shard() or change the group with with_seq_shards()"
+            )
         return Projection(self.epoch + 1, self.replica_sets, sequencer)
+
+    def with_seq_shard(self, index: int, name: str) -> "Projection":
+        """Next-epoch projection with one sequencer shard replaced.
+
+        Only the named shard changes; the stripe geometry (shard count
+        and the other shards' identities — and therefore their live
+        soft state) is untouched, which is what lets one crashed shard
+        fail over without halting the rest of the group.
+        """
+        shards = self.sequencer_shards
+        if not 0 <= index < len(shards):
+            raise ValueError(
+                f"shard index {index} out of range for {len(shards)} shards"
+            )
+        if not self.seq_shards:
+            return self.with_sequencer(name)
+        replaced = shards[:index] + (name,) + shards[index + 1:]
+        return Projection(
+            self.epoch + 1, self.replica_sets, self.sequencer, replaced
+        )
+
+    def with_seq_shards(self, shard_names: Tuple[str, ...]) -> "Projection":
+        """Next-epoch projection with a new sequencer shard group.
+
+        Changing the shard count restripes the offset space, so it must
+        go through an epoch change like any membership change; callers
+        are responsible for recovering the new shards' soft state.
+        """
+        return Projection(
+            self.epoch + 1, self.replica_sets, self.sequencer, tuple(shard_names)
+        )
 
     def with_node_ejected(self, node: str) -> "Projection":
         """Next-epoch projection with a failed storage node removed.
@@ -117,7 +184,9 @@ class Projection:
                 new_sets.append(rset)
         if not found:
             raise ValueError(f"node {node} not in projection epoch {self.epoch}")
-        return Projection(self.epoch + 1, tuple(new_sets), self.sequencer)
+        return Projection(
+            self.epoch + 1, tuple(new_sets), self.sequencer, self.seq_shards
+        )
 
 
 def build_projection(
@@ -126,12 +195,16 @@ def build_projection(
     sequencer: str = "seq-0",
     epoch: int = 0,
     node_prefix: str = "flash",
+    seq_shards: int = 1,
 ) -> Projection:
     """Construct the standard NxR layout used throughout the evaluation.
 
     The paper's default deployment is 18 nodes in a "9X2 configuration
     (i.e., 9 sets of 2 replicas each)":
     ``build_projection(9, 2)``.
+
+    With ``seq_shards > 1`` the sequencer is a sharded group labelled
+    *sequencer*, its shards named ``{sequencer}.0 .. {sequencer}.N-1``.
     """
     sets = []
     for i in range(num_sets):
@@ -139,4 +212,9 @@ def build_projection(
             f"{node_prefix}-{i}-{j}" for j in range(replication_factor)
         )
         sets.append(ReplicaSet(nodes))
-    return Projection(epoch, tuple(sets), sequencer)
+    if seq_shards < 1:
+        raise ValueError(f"seq_shards must be >= 1, got {seq_shards}")
+    shards: Tuple[str, ...] = ()
+    if seq_shards > 1:
+        shards = tuple(f"{sequencer}.{i}" for i in range(seq_shards))
+    return Projection(epoch, tuple(sets), sequencer, shards)

@@ -76,12 +76,18 @@ def seal_cluster(
     new_epoch: int,
     source: str = _DEFAULT_SOURCE,
 ) -> None:
-    """Seal every reachable node (storage + sequencer) of *old* at *new_epoch*."""
+    """Seal every reachable node (storage + sequencer) of *old* at *new_epoch*.
+
+    A sharded sequencer group is sealed shard by shard; surviving
+    shards keep their soft state across the epoch bump (sealing only
+    fences stale-epoch requests, it clears nothing).
+    """
     for name in old.all_nodes():
         _seal_one(cluster, source, _storage_rpc(cluster, source, name), new_epoch)
-    _seal_one(
-        cluster, source, _sequencer_rpc(cluster, source, old.sequencer), new_epoch
-    )
+    for name in old.sequencer_shards:
+        _seal_one(
+            cluster, source, _sequencer_rpc(cluster, source, name), new_epoch
+        )
 
 
 def eject_storage_node(
@@ -192,6 +198,127 @@ def rebuild_stream_tails(
     return stream_tails
 
 
+def rebuild_shard_stream_tails(
+    cluster: CorfuCluster,
+    projection: Projection,
+    tail: int,
+    k: int,
+    epoch: int,
+    shard_index: int,
+    num_shards: int,
+    source: str = _DEFAULT_SOURCE,
+) -> Dict[int, List[int]]:
+    """Reconstruct one sequencer shard's per-stream map from its stripe.
+
+    Scans only offsets ``≡ shard_index (mod num_shards)`` below *tail*
+    — the slice this shard issues — so recovering one crashed shard
+    reads ``1/N`` of the log and never halts the other shards. Two
+    sources feed the map, both restricted to streams this shard owns
+    (``sid % num_shards == shard_index``):
+
+    - stream headers of entries in the stripe (single-shard appends,
+      and cross-shard entries whose final offset landed in this
+      stripe);
+    - vector-grant **markers** (see
+      :func:`repro.corfu.entry.decode_vector_marker`): a cross-shard
+      entry living in another stripe left a marker at the reservation
+      it burned here, naming its final offset and this shard's streams.
+
+    Marker-referenced offsets arrive out of scan order, so candidates
+    are collected per stream and sorted newest-first at the end.
+    """
+    from repro.corfu.entry import LogEntry, decode_vector_marker
+
+    candidates: Dict[int, set] = {}
+
+    def note(sid: int, offset: int) -> None:
+        if sid % num_shards == shard_index:
+            candidates.setdefault(sid, set()).add(offset)
+
+    start = tail - 1 - ((tail - 1 - shard_index) % num_shards)
+    for offset in range(start, -1, -num_shards) if start >= 0 else ():
+        rset, address = projection.map_offset(offset)
+        raw = _read_any_replica(cluster, rset, address, epoch, source)
+        if raw is None:
+            continue
+        entry = LogEntry.decode(raw, offset, k)
+        for header in entry.headers:
+            note(header.stream_id, offset)
+        if not entry.is_junk and not entry.headers:
+            marker = decode_vector_marker(entry.payload)
+            if marker is not None:
+                final_offset, stream_ids = marker
+                for sid in stream_ids:
+                    note(sid, final_offset)
+    return {
+        sid: sorted(offsets, reverse=True)[:k]
+        for sid, offsets in candidates.items()
+    }
+
+
+def replace_sequencer_shard(
+    cluster: CorfuCluster,
+    shard_index: int,
+    new_name: Optional[str] = None,
+    source: str = _DEFAULT_SOURCE,
+) -> Projection:
+    """Fail over one sequencer shard, recovering its stripe's soft state.
+
+    The seal-and-advance protocol of :func:`replace_sequencer`, scoped
+    to one shard: the whole old epoch is sealed (healthy shards simply
+    continue at the new one, soft state intact), the global tail is
+    recovered with the slow check, the dead shard's per-stream map is
+    rebuilt by a backward scan of **its own stripe only**, and the
+    replacement — bootstrapped with the global tail, so its next issue
+    lands above everything granted so far — joins the projection in the
+    dead shard's place.
+    """
+    old = cluster.projection
+    shards = old.sequencer_shards
+    if not 0 <= shard_index < len(shards):
+        raise ValueError(
+            f"shard index {shard_index} out of range for {len(shards)} shards"
+        )
+    if len(shards) == 1:
+        return replace_sequencer(cluster, new_name, source=source)
+    if new_name is None:
+        new_name = f"seq-{old.epoch + 1}.{shard_index}"
+    new = old.with_seq_shard(shard_index, new_name)
+    seal_cluster(cluster, old, new.epoch, source=source)
+    tail = slow_check_tail(cluster, new, source=source)
+    stream_tails = rebuild_shard_stream_tails(
+        cluster,
+        new,
+        tail,
+        cluster.k,
+        new.epoch,
+        shard_index,
+        len(shards),
+        source=source,
+    )
+    cluster.create_sequencer(
+        new_name, shard_index=shard_index, num_shards=len(shards)
+    )
+    replacement = _sequencer_rpc(cluster, source, new_name)
+    for attempt in range(_RPC_ATTEMPTS):
+        try:
+            replacement.bootstrap(tail, stream_tails, new.epoch)
+            break
+        except SealedError:
+            # A racing reconfiguration moved past us; its projection
+            # already carries recovered state.
+            return cluster.projection
+        except RpcTimeout as exc:
+            cluster.transport.backoff(source, attempt)
+            if attempt == _RPC_ATTEMPTS - 1:
+                raise NodeDownError(exc.node)
+    try:
+        cluster.install_projection(new)
+    except ValueError:
+        return cluster.projection
+    return new
+
+
 #: Stream id reserved for sequencer state checkpoints. Stream ids are
 #: 31-bit; Tango object ids in practice stay tiny, so the top of the
 #: space is free for infrastructure streams.
@@ -219,6 +346,11 @@ def checkpoint_sequencer_state(cluster: CorfuCluster) -> int:
     from repro.corfu.replication import ChainReplicator
 
     proj = cluster.projection
+    if proj.seq_shards:
+        raise ValueError(
+            "sequencer checkpoints are not supported for sharded groups; "
+            "per-shard recovery scans only 1/N of the log already"
+        )
     # The increment and the snapshot read are sequencer-local (the
     # sequencer checkpoints its own soft state); only the chain write
     # that persists the snapshot crosses the network, with the
@@ -291,6 +423,11 @@ def replace_sequencer(
     the replacement, and install the new projection.
     """
     old = cluster.projection
+    if old.seq_shards:
+        raise ValueError(
+            "sequencer is sharded; fail over one shard with "
+            "replace_sequencer_shard()"
+        )
     if new_name is None:
         new_name = f"seq-{old.epoch + 1}"
     new = old.with_sequencer(new_name)

@@ -74,6 +74,25 @@ class WrongEpochError(CorfuError):
         self.got = got
 
 
+class StaleGrantError(CorfuError):
+    """A vector grant lost its race and must be retried from scratch.
+
+    Raised by the sequencer's ``commit_group`` when some touched
+    stream's newest recorded offset already exceeds the grant's offset:
+    a concurrent single-shard append was granted on the owning shard
+    after our reservation, so recording the grant would break the
+    stream's append-order/offset-order agreement. The client abandons
+    the grant (its reserved offsets become ordinary holes for ``fill``)
+    and retries with a fresh reservation vector.
+    """
+
+    def __init__(self, offset: int) -> None:
+        super().__init__(
+            f"vector grant at offset {offset} is stale; retry with a fresh grant"
+        )
+        self.offset = offset
+
+
 class NodeDownError(CorfuError):
     """The target node has crashed or is unreachable."""
 

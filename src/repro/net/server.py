@@ -284,6 +284,8 @@ def _build_node(
     data_dir: Optional[str] = None,
     segment_bytes: Optional[int] = None,
     compact_interval: float = 0.0,
+    shard_index: int = 0,
+    num_shards: int = 1,
 ):
     from repro.corfu.sequencer import Sequencer
     from repro.corfu.storage import FlashUnit
@@ -303,8 +305,21 @@ def _build_node(
             unit.start_compaction(compact_interval)
         return unit
     if kind == "sequencer":
-        return Sequencer(name, k=k)
+        return Sequencer(
+            name, k=k, shard_index=shard_index, num_shards=num_shards
+        )
     raise ValueError(f"unknown node kind {kind!r}")
+
+
+def register_sequencer_group(server: "NodeServer", group) -> None:
+    """Serve every shard of a :class:`~repro.corfu.sequencer.ShardedSequencer`.
+
+    One server can host the whole group (each shard addressable by its
+    own node name) for tests and small deployments; production-style
+    deployments host one shard per process via ``--shard-index``.
+    """
+    for shard in group:
+        server.register(shard.name, shard)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -322,6 +337,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--k", type=int, default=4, help="sequencer backpointers per stream"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="host a whole sharded sequencer group (--name is the group "
+        "label; shards are served as <name>.0 .. <name>.N-1)",
+    )
+    parser.add_argument(
+        "--shard-index",
+        type=int,
+        default=0,
+        help="host one striped shard: its index within --num-shards",
+    )
+    parser.add_argument(
+        "--num-shards",
+        type=int,
+        default=1,
+        help="shard-group size when hosting one shard via --shard-index",
     )
     parser.add_argument(
         "--data-dir",
@@ -352,16 +386,25 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.data_dir is not None and args.kind == "storage":
         os.makedirs(args.data_dir, exist_ok=True)
-    node = _build_node(
-        args.kind,
-        args.name,
-        args.k,
-        data_dir=args.data_dir if args.kind == "storage" else None,
-        segment_bytes=args.segment_bytes,
-        compact_interval=args.compact_interval,
-    )
     server = NodeServer(host=args.host, port=args.port)
-    server.register(args.name, node)
+    if args.kind == "sequencer" and args.shards > 1:
+        from repro.corfu.sequencer import ShardedSequencer
+
+        register_sequencer_group(
+            server, ShardedSequencer(args.name, shards=args.shards, k=args.k)
+        )
+    else:
+        node = _build_node(
+            args.kind,
+            args.name,
+            args.k,
+            data_dir=args.data_dir if args.kind == "storage" else None,
+            segment_bytes=args.segment_bytes,
+            compact_interval=args.compact_interval,
+            shard_index=args.shard_index,
+            num_shards=args.num_shards,
+        )
+        server.register(args.name, node)
     server.start()
     print(f"READY {args.name} {server.host} {server.port}", flush=True)
 

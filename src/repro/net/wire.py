@@ -65,8 +65,19 @@ STORAGE_OPS = frozenset(
     }
 )
 
-#: RPC methods a sequencer serves.
-SEQUENCER_OPS = frozenset({"increment", "query", "seal", "bootstrap"})
+#: RPC methods a sequencer serves. ``reserve_group``/``commit_group``
+#: are the two phases of a cross-shard vector grant; every op is served
+#: by a classic single sequencer and by each shard of a group alike.
+SEQUENCER_OPS = frozenset(
+    {
+        "increment",
+        "query",
+        "seal",
+        "bootstrap",
+        "reserve_group",
+        "commit_group",
+    }
+)
 
 #: Supervision-plane methods every hosted node answers.
 ADMIN_OPS = frozenset({"ping", "shutdown"})
@@ -148,6 +159,7 @@ _ERROR_PARAMS: Dict[str, Tuple[str, ...]] = {
     "TrimmedError": ("offset",),
     "SealedError": ("epoch",),
     "WrongEpochError": ("expected", "got"),
+    "StaleGrantError": ("offset",),
     "NodeDownError": ("node",),
     "RpcTimeout": ("node", "op"),
     "RetriesExhaustedError": ("op", "attempts", "last"),

@@ -738,8 +738,20 @@ class StreamClient:
 
     # -- passthroughs -------------------------------------------------------------
 
-    def check_tail(self) -> int:
-        """Current tail of the underlying shared log (fast check)."""
+    def check_tail(self, stream_ids: Optional[Sequence[int]] = None) -> int:
+        """Current tail of the underlying shared log (fast check).
+
+        With *stream_ids*, only the sequencer shards owning those
+        streams are queried — one RPC per owning shard instead of one
+        per shard of the whole group — and the result still bounds
+        every offset those streams' entries can occupy (a cross-shard
+        entry bumps the owning shard's counter past its offset when
+        the grant commits). Without arguments this is the global fast
+        check across all shards.
+        """
+        if stream_ids:
+            tail, _ = self._corfu.query_streams(tuple(stream_ids))
+            return tail
         return self._corfu.check(fast=True)
 
     @property

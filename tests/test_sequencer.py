@@ -197,3 +197,171 @@ class TestLifecycleRaces:
         assert issued == list(range(len(issued)))
         with pytest.raises(SealedError):
             seq.increment((), epoch=0)
+
+
+class TestStriping:
+    """A shard (i, N) only ever issues offsets congruent to i mod N."""
+
+    def test_default_shard_is_the_dense_counter(self):
+        seq = Sequencer("seq-0", k=4)
+        assert seq.shard_index == 0
+        assert seq.num_shards == 1
+        assert [seq.increment()[0] for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_offsets_land_on_own_stripe(self):
+        seq = Sequencer("seq-0.1", k=4, shard_index=1, num_shards=4)
+        offsets = [seq.increment(stream_ids=(1,))[0] for _ in range(5)]
+        assert offsets == [1, 5, 9, 13, 17]
+
+    def test_multi_count_strides_within_the_stripe(self):
+        seq = Sequencer("seq-0.2", k=4, shard_index=2, num_shards=3)
+        first, bps = seq.increment(stream_ids=(2,), count=3)
+        assert first == 2
+        # Backpointers for the reservation are the stripe's own offsets,
+        # newest first.
+        assert bps[2][:3] == (NO_BACKPOINTER,) * 3
+        nxt, bps = seq.increment(stream_ids=(2,))
+        assert nxt == 11
+        assert bps[2][:3] == (8, 5, 2)
+
+    def test_query_reports_the_global_tail_bound(self):
+        seq = Sequencer("seq-0.1", k=4, shard_index=1, num_shards=4)
+        assert seq.query()[0] == 0
+        seq.increment()  # issues 1
+        assert seq.query()[0] == 2  # everything below 2 is decided here
+        seq.increment()  # issues 5
+        assert seq.query()[0] == 6
+
+    def test_bootstrap_takes_a_global_tail(self):
+        seq = Sequencer("seq-0.3", k=4, shard_index=3, num_shards=4)
+        seq.crash()
+        seq.bootstrap(10, {7: [7, 3]}, epoch=0)
+        # First own offset at or above the global tail 10 is 11.
+        offset, bps = seq.increment(stream_ids=(7,))
+        assert offset == 11
+        assert bps[7][:2] == (7, 3)
+
+    def test_shard_parameters_validated(self):
+        with pytest.raises(ValueError):
+            Sequencer("bad", shard_index=2, num_shards=2)
+        with pytest.raises(ValueError):
+            Sequencer("bad", shard_index=-1, num_shards=2)
+        with pytest.raises(ValueError):
+            Sequencer("bad", num_shards=0)
+
+
+class TestVectorGrant:
+    """reserve_group / commit_group: the two-phase cross-shard grant."""
+
+    def test_reserve_lands_on_own_stripe_and_respects_floor(self):
+        seq = Sequencer("seq-0.1", k=4, shard_index=1, num_shards=4)
+        r0 = seq.reserve_group()
+        assert r0 == 1
+        r1 = seq.reserve_group(floor=r0 + 1)
+        assert r1 == 5
+        # A floor far ahead ratchets the shard forward.
+        r2 = seq.reserve_group(floor=100)
+        assert r2 >= 100 and r2 % 4 == 1
+
+    def test_commit_records_backpointers_and_returns_priors(self):
+        seq = Sequencer("seq-0.1", k=4, shard_index=1, num_shards=4)
+        o1 = seq.reserve_group()
+        prior = seq.commit_group((7,), o1)
+        assert prior[7] == (NO_BACKPOINTER,) * 4
+        o2 = seq.reserve_group(floor=o1 + 1)
+        prior = seq.commit_group((7,), o2)
+        assert prior[7][0] == o1
+
+    def test_commit_is_idempotent_at_the_same_offset(self):
+        seq = Sequencer("seq-0.1", k=4, shard_index=1, num_shards=4)
+        o = seq.reserve_group()
+        first = seq.commit_group((7,), o)
+        again = seq.commit_group((7,), o)
+        assert first == again
+
+    def test_stale_commit_raises(self):
+        from repro.errors import StaleGrantError
+
+        seq = Sequencer("seq-0.1", k=4, shard_index=1, num_shards=4)
+        o_old = seq.reserve_group()
+        o_new = seq.reserve_group(floor=o_old + 1)
+        seq.commit_group((7,), o_new)
+        with pytest.raises(StaleGrantError):
+            seq.commit_group((7,), o_old)
+
+    def test_commit_bumps_the_tail_past_the_offset(self):
+        seq = Sequencer("seq-0.2", k=4, shard_index=2, num_shards=4)
+        # Commit an offset granted by some *other* shard's reservation.
+        seq.commit_group((2,), 17)
+        offset, _ = seq.increment(stream_ids=(2,))
+        assert offset > 17 and offset % 4 == 2
+
+    def test_sealed_shard_rejects_grant_ops(self):
+        seq = Sequencer("seq-0.1", k=4, shard_index=1, num_shards=4)
+        seq.seal(1)
+        with pytest.raises(SealedError):
+            seq.reserve_group(epoch=0)
+        with pytest.raises(SealedError):
+            seq.commit_group((7,), 1, epoch=0)
+
+
+class TestShardedSequencer:
+    def test_single_shard_group_is_the_plain_sequencer(self):
+        from repro.corfu.sequencer import ShardedSequencer
+
+        group = ShardedSequencer("seq-0", shards=1)
+        assert len(group) == 1
+        assert group.shard_names() == ("seq-0",)
+        only = group.shard_for(123)
+        assert only.name == "seq-0"
+        assert only.num_shards == 1
+
+    def test_shards_partition_streams_by_modulus(self):
+        from repro.corfu.sequencer import ShardedSequencer, shard_name
+
+        group = ShardedSequencer("seq-0", shards=4)
+        assert group.shard_names() == tuple(
+            shard_name("seq-0", i) for i in range(4)
+        )
+        for sid in range(8):
+            shard = group.shard_for(sid)
+            assert shard.shard_index == sid % 4
+
+    def test_group_tail_is_the_max_over_shards(self):
+        from repro.corfu.sequencer import ShardedSequencer
+
+        group = ShardedSequencer("seq-0", shards=4)
+        assert group.tail() == 0
+        group.shard_for(2).increment(stream_ids=(2,))  # issues offset 2
+        assert group.tail() == 3
+
+    def test_group_seal_seals_every_shard(self):
+        from repro.corfu.sequencer import ShardedSequencer
+
+        group = ShardedSequencer("seq-0", shards=3)
+        group.seal(1)
+        for shard in group:
+            with pytest.raises(SealedError):
+                shard.increment(epoch=0)
+
+    def test_disjoint_shards_never_issue_the_same_offset(self):
+        import threading
+
+        from repro.corfu.sequencer import ShardedSequencer
+
+        group = ShardedSequencer("seq-0", shards=4)
+        issued = []
+        lock = threading.Lock()
+
+        def worker(sid):
+            shard = group.shard_for(sid)
+            mine = [shard.increment(stream_ids=(sid,))[0] for _ in range(200)]
+            with lock:
+                issued.extend(mine)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(issued) == len(set(issued)) == 800
