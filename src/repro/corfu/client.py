@@ -32,7 +32,8 @@ own earlier (invisible) success as success.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.corfu.cluster import CorfuCluster
 from repro.corfu.entry import (
@@ -82,6 +83,176 @@ _TIMEOUT_FAILOVER = 4
 #: above accrues too slowly.
 _SILENT_PROGRESS_FAILOVER = 12
 
+#: Most appends one pipeline leader commits per round before re-checking
+#: the queue. Bounds both the sequencer grant width and the payload the
+#: leader buffers; the chain-level in-flight window
+#: (:data:`repro.corfu.replication.DEFAULT_PIPELINE_WINDOW`) throttles
+#: below this.
+_PIPELINE_CHUNK = 32
+
+#: How long a pipeline follower waits on its completion event before
+#: re-checking whether leadership freed up (guards against the leader
+#: exiting between the follower's enqueue and the leader's last queue
+#: check — the follower then takes over rather than sleeping forever).
+_FOLLOWER_WAIT_SLICE = 0.005
+
+
+class AppendFuture:
+    """Completion handle for one :meth:`CorfuClient.append_async`.
+
+    The append is durable once :meth:`done` is true and :meth:`result`
+    returns the assigned log offset. There is no background thread:
+    appends are committed by whichever waiter thread becomes the
+    pipeline *leader* (see ``_AppendPipeline``), so a lone
+    ``append_async(...).result()`` costs the same as a synchronous
+    ``append``.
+    """
+
+    __slots__ = ("payload", "stream_ids", "_client", "_done", "_offset", "_exc")
+
+    def __init__(
+        self, client: "CorfuClient", payload: bytes, stream_ids: Tuple[int, ...]
+    ) -> None:
+        self._client = client
+        self.payload = payload
+        self.stream_ids = stream_ids
+        self._done = threading.Event()
+        self._offset: Optional[int] = None
+        self._exc: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """True once the append completed (successfully or not)."""
+        return self._done.is_set()
+
+    def _resolve(self, offset: int) -> None:
+        self._offset = offset
+        self._done.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._done.set()
+
+    def result(self, timeout: Optional[float] = None) -> int:
+        """Block until the append lands; return its log offset.
+
+        The calling thread participates in committing queued appends
+        (it may be elected pipeline leader). Re-raises the append's
+        failure, or :class:`~repro.errors.RpcTimeout` if *timeout*
+        elapses first — the append may still complete later (a late
+        ack, like any timed-out RPC).
+        """
+        self._client._pipeline.drive(self, timeout)
+        if not self._done.is_set():
+            raise RpcTimeout("append-pipeline", "result")
+        if self._exc is not None:
+            raise self._exc
+        return self._offset  # type: ignore[return-value]
+
+
+class _AppendPipeline:
+    """Work-stealing group commit behind :meth:`CorfuClient.append_async`.
+
+    Queued futures are drained by a *leader*: the first waiter to find
+    the queue non-empty and no leader active. The leader pops a chunk,
+    groups consecutive futures with identical stream sets into one
+    sequencer grant + pipelined chain write (``append_batch`` →
+    ``ChainReplicator.write_pipelined``), resolves their futures, and
+    loops until the queue is empty. Followers wait on their own
+    completion events with a short timeout so a leader that exits just
+    before their enqueue is noticed and replaced — no lost wakeups, no
+    background thread, and a single uncontended append runs inline on
+    its caller's thread exactly like the old synchronous path.
+
+    Lock discipline: ``_lock`` guards only the queue and the leader
+    flag; it is never held across an RPC (TL012) and takes no other
+    lock (a leaf in the documented hierarchy).
+    """
+
+    def __init__(self, client: "CorfuClient") -> None:
+        self._client = client
+        # Guards _queue and _leading.
+        self._lock = threading.Lock()
+        self._queue: Deque[AppendFuture] = deque()
+        self._leading = False
+
+    def submit(self, fut: AppendFuture) -> None:
+        with self._lock:
+            self._queue.append(fut)
+
+    def drive(self, fut: AppendFuture, timeout: Optional[float] = None) -> None:
+        """Wait for *fut*, leading the pipeline whenever it is leaderless."""
+        remaining = timeout
+        while not fut.done():
+            lead = False
+            with self._lock:
+                if not self._leading and self._queue:
+                    self._leading = True
+                    lead = True
+            if lead:
+                try:
+                    self._drain()
+                finally:
+                    with self._lock:
+                        self._leading = False
+                continue
+            if fut.done():
+                return
+            wait = (
+                _FOLLOWER_WAIT_SLICE
+                if remaining is None
+                else min(_FOLLOWER_WAIT_SLICE, remaining)
+            )
+            fut._done.wait(wait)
+            if remaining is not None:
+                remaining -= wait
+                if remaining <= 0 and not fut.done():
+                    return
+
+    def _drain(self) -> None:
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return
+                chunk = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), _PIPELINE_CHUNK))
+                ]
+            self._commit(chunk)
+
+    def _commit(self, chunk: List[AppendFuture]) -> None:
+        client = self._client
+        i = 0
+        while i < len(chunk):
+            j = i
+            while j < len(chunk) and chunk[j].stream_ids == chunk[i].stream_ids:
+                j += 1
+            run = chunk[i:j]
+            try:
+                if len(run) == 1:
+                    run[0]._resolve(
+                        client._append_sync(run[0].payload, run[0].stream_ids)
+                    )
+                else:
+                    offsets = client.append_batch(
+                        [f.payload for f in run], run[0].stream_ids
+                    )
+                    for fut, offset in zip(run, offsets):
+                        fut._resolve(offset)
+            except BaseException as exc:  # tangolint: disable=TL006
+                # Not swallowed: the leader commits on behalf of other
+                # threads, so the failure is captured into each waiter's
+                # future and re-raised from result(). The protocol's
+                # retry discipline already ran inside _append_sync /
+                # append_batch below this frame.
+                for fut in run:
+                    if not fut.done():
+                        fut._fail(exc)
+                if not isinstance(exc, Exception):
+                    # KeyboardInterrupt and friends: the waiters have
+                    # their answer; unwind the leader thread too.
+                    raise
+            i = j
+
 
 class CorfuClient:
     """One client's handle on the shared log."""
@@ -113,6 +284,9 @@ class CorfuClient:
         # Trim observers (e.g. the stream layer's entry cache), called
         # as cb(offset, is_prefix) after a trim commits cluster-side.
         self._trim_watchers: List[Callable[[int, bool], None]] = []
+        # Async append path: queued futures committed by an elected
+        # leader thread (see _AppendPipeline). append() rides on it.
+        self._pipeline = _AppendPipeline(self)
 
     # -- transport plumbing --------------------------------------------------
 
@@ -270,7 +444,32 @@ class CorfuClient:
         This is the multiappend of section 4.1 when more than one stream
         id is given: the entry occupies a single position in the global
         order but belongs to every listed stream.
+
+        Expressed on the async path: ``append_async(...).result()``.
+        A lone call runs inline on the calling thread (same cost as the
+        classic synchronous append); concurrent callers are coalesced
+        into shared sequencer grants and pipelined chain writes by the
+        pipeline leader.
         """
+        return self.append_async(payload, stream_ids).result()
+
+    def append_async(
+        self, payload: bytes, stream_ids: Sequence[int] = ()
+    ) -> AppendFuture:
+        """Queue *payload* for append; return a completion handle.
+
+        Validation (stream count, payload capacity) happens here,
+        synchronously. The append itself is committed by the pipeline
+        leader — whichever thread next waits on a handle — so callers
+        may queue a flight of appends and then collect the offsets,
+        overlapping sequencer grants and chain hops across the flight.
+        """
+        self._validate_append(payload, stream_ids)
+        fut = AppendFuture(self, payload, tuple(stream_ids))
+        self._pipeline.submit(fut)
+        return fut
+
+    def _validate_append(self, payload: bytes, stream_ids: Sequence[int]) -> None:
         if len(stream_ids) > self._cluster.max_streams:
             raise TooManyStreamsError(len(stream_ids), self._cluster.max_streams)
         limit = max_payload_bytes(
@@ -281,6 +480,14 @@ class CorfuClient:
                 f"payload of {len(payload)} bytes exceeds the "
                 f"{limit}-byte capacity of a {self._cluster.entry_size}-byte entry"
             )
+
+    def _append_sync(self, payload: bytes, stream_ids: Sequence[int] = ()) -> int:
+        """The classic synchronous append retry loop.
+
+        Internal callers (the pipeline leader, batch fallbacks) use
+        this directly — routing them through :meth:`append` would
+        re-enter the pipeline a leader is already driving.
+        """
         for attempt in range(_MAX_RETRIES):
             try:
                 offset = self._append_once(payload, stream_ids)
@@ -441,7 +648,7 @@ class CorfuClient:
             if len(groups) > 1:
                 # A batch spanning shard groups would need one vector
                 # grant per entry anyway; take the per-entry path.
-                return [self.append(p, stream_ids) for p in payloads]
+                return [self._append_sync(p, stream_ids) for p in payloads]
             seq = self._sequencer_rpc(shards[groups[0] if groups else 0])
             try:
                 first, backpointers = seq.increment(
@@ -477,13 +684,22 @@ class CorfuClient:
         *stride* is the reservation spacing: 1 for the classic dense
         sequencer, the shard count for a striped shard (whose grant
         covers offsets ``first, first + stride, ...``).
+
+        The chain writes are *pipelined*: entries are grouped by
+        replica chain and streamed down each chain with overlapping
+        hops (:meth:`ChainReplicator.write_pipelined`). Per-address
+        outcomes drive recovery exactly as the sequential path did —
+        a head ``WrittenError`` (hole-filler raced the reservation)
+        sends that payload to a fresh offset, and any node-level error
+        re-drives the same offset with ``maybe_mine`` so a partially
+        streamed entry is completed, never duplicated.
         """
         k = self._cluster.k
         prior = {
             sid: [p for p in backpointers[sid] if p != NO_BACKPOINTER]
             for sid in stream_ids
         }
-        offsets: List[int] = []
+        entries: List[Tuple[int, bytes]] = []  # (offset, raw), payload order
         for i, payload in enumerate(payloads):
             offset = first + i * stride
             headers = tuple(
@@ -497,22 +713,55 @@ class CorfuClient:
                 for sid in stream_ids
             )
             entry = LogEntry(headers=headers, payload=payload)
-            raw = entry.encode(offset, k, self._cluster.max_streams)
-            try:
-                self._complete_write(offset, raw)
-            except WrittenError:
+            entries.append((offset, entry.encode(offset, k, self._cluster.max_streams)))
+        offsets: List[int] = [offset for offset, _ in entries]
+        proj = self._projection
+        num_sets = len(proj.replica_sets)
+        groups: Dict[int, List[int]] = {}  # replica-set index -> entry indices
+        for idx, (offset, _) in enumerate(entries):
+            groups.setdefault(offset % num_sets, []).append(idx)
+        retry: List[Tuple[int, BaseException]] = []  # (entry index, first outcome)
+        for set_index in sorted(groups):
+            idxs = groups[set_index]
+            rset = proj.replica_sets[set_index]
+            writes: List[Tuple[int, bytes]] = []
+            by_address: Dict[int, int] = {}
+            for idx in idxs:
+                offset, raw = entries[idx]
+                _, address = proj.map_offset(offset)
+                by_address[address] = idx
+                writes.append((address, raw))
+            outcomes = self._chain.write_pipelined(rset, writes, proj.epoch)
+            for address, outcome in sorted(outcomes.items()):
+                if outcome is None:
+                    continue
+                if isinstance(outcome, AssertionError):
+                    raise outcome  # chain divergence: a bug, not a retry
+                retry.append((by_address[address], outcome))
+        for idx, outcome in sorted(retry):
+            offset, raw = entries[idx]
+            if isinstance(outcome, WrittenError):
                 # A hole-filler patched our reserved offset before the
                 # write landed; the payload takes a fresh offset via the
                 # ordinary append retry loop. Stream membership is
                 # preserved (the junk-filled offset is skipped by
                 # walkers), only the position moves.
-                offset = self.append(payload, stream_ids)
-            with self._counter_lock:
-                self.appends += 1
-            offsets.append(offset)
+                offsets[idx] = self._append_sync(payloads[idx], stream_ids)
+            else:
+                # Sealed / node down / timeout with the entry possibly
+                # part-way down the chain: finish the same offset;
+                # maybe_mine from the first retry attempt keeps the
+                # earlier partial delivery from counting twice.
+                self._complete_write(offset, raw, maybe_mine_from_start=True)
+        with self._counter_lock:
+            self.appends += sum(
+                1 for idx in range(len(entries)) if offsets[idx] == entries[idx][0]
+            )
         return offsets
 
-    def _complete_write(self, offset: int, raw: bytes) -> None:
+    def _complete_write(
+        self, offset: int, raw: bytes, maybe_mine_from_start: bool = False
+    ) -> None:
         """Drive the chain write for an offset this client owns.
 
         Once the head write may have landed (any failed attempt), the
@@ -524,13 +773,18 @@ class CorfuClient:
         our own write (``maybe_mine``). A genuine race loss (different
         bytes at the head) propagates ``WrittenError`` to ``append``,
         which takes a fresh offset.
+
+        *maybe_mine_from_start* is set by callers whose first delivery
+        attempt already happened elsewhere (the pipelined batch path),
+        so even attempt zero here is a retry of an ambiguous write.
         """
         for attempt in range(_MAX_RETRIES):
             proj = self._projection
             rset, address = proj.map_offset(offset)
             try:
                 self._chain.write(
-                    rset, address, raw, proj.epoch, maybe_mine=attempt > 0
+                    rset, address, raw, proj.epoch,
+                    maybe_mine=maybe_mine_from_start or attempt > 0,
                 )
                 return
             except SealedError:

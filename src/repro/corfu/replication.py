@@ -24,15 +24,23 @@ The rules implemented here:
 
 from __future__ import annotations
 
-from typing import Callable
+import queue
+import threading
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.corfu.layout import ReplicaSet
 from repro.corfu.storage import FlashUnit
-from repro.errors import TrimmedError, UnwrittenError, WrittenError
+from repro.errors import ReproError, TrimmedError, UnwrittenError, WrittenError
 
 # Resolves a storage node name to its FlashUnit (or a transport proxy
 # for one — the replicator is agnostic; it calls the same methods).
 UnitLookup = Callable[[str], FlashUnit]
+
+#: Default bound on entries in flight between head issue and tail ack
+#: in :meth:`ChainReplicator.write_pipelined`. Deep enough to keep a
+#: 3-hop chain busy, shallow enough that a stalled suffix backpressures
+#: the head instead of buffering unbounded payloads.
+DEFAULT_PIPELINE_WINDOW = 8
 
 
 class ChainReplicator:
@@ -86,6 +94,135 @@ class ChainReplicator:
                         f"holds different data than the head winner wrote"
                     )
 
+    def write_pipelined(
+        self,
+        rset: ReplicaSet,
+        writes: Sequence[Tuple[int, bytes]],
+        epoch: int,
+        maybe_mine: FrozenSet[int] = frozenset(),
+        window: int = DEFAULT_PIPELINE_WINDOW,
+    ) -> Dict[int, Optional[BaseException]]:
+        """Stream many writes down the chain, overlapping the hops.
+
+        The synchronous :meth:`write` waits for every hop's ack before
+        issuing the next write; here each hop runs in its own stage, so
+        while entry *i* is landing on the tail, entry *i+1* is on the
+        middle replica and entry *i+2* is at the head. The caller's
+        thread drives the head hop — write-once arbitration still
+        happens there, and no suffix replica ever sees an entry whose
+        head write has not been acked (the chain invariant readers
+        depend on). A ``BoundedSemaphore`` caps entries between head
+        issue and tail ack at *window*, so a stalled suffix
+        backpressures the head instead of buffering without limit.
+
+        *writes* is a sequence of ``(address, data)`` pairs; addresses
+        in *maybe_mine* get the retry discipline of :meth:`write`'s
+        ``maybe_mine`` flag (a head ``WrittenError`` over identical
+        bytes is this client's own earlier delivery).
+
+        Returns a per-address outcome map: ``None`` for a tail-acked
+        write, otherwise the exception *instance* that stopped that
+        address (``WrittenError`` = lost the head race; node-level
+        errors = the chain is incomplete and the caller must re-drive
+        that address with ``maybe_mine`` before trusting it). Acks are
+        tracked per address, so completions may arrive in any order
+        without being misattributed.
+        """
+        results: Dict[int, Optional[BaseException]] = {}
+        hops = list(rset)
+        if len(hops) == 1 or len(writes) <= 1:
+            # Nothing to overlap: fall back to the synchronous rule.
+            for address, data in writes:
+                try:
+                    self.write(
+                        rset, address, data, epoch,
+                        maybe_mine=address in maybe_mine,
+                    )
+                    results[address] = None
+                except (ReproError, AssertionError) as exc:
+                    results[address] = exc
+            return results
+
+        inflight = threading.BoundedSemaphore(max(1, window))
+        results_lock = threading.Lock()
+        # One queue per suffix hop; stage i consumes queue i-1.
+        inboxes = [queue.Queue() for _ in range(len(hops) - 1)]
+
+        def record(address: int, outcome: Optional[BaseException]) -> None:
+            with results_lock:
+                results[address] = outcome
+            inflight.release()
+
+        def suffix_stage(hop: int) -> None:
+            unit = self._lookup(hops[hop])
+            inbox = inboxes[hop - 1]
+            while True:
+                item = inbox.get()
+                if item is None:  # end-of-batch sentinel, forwarded down
+                    if hop < len(hops) - 1:
+                        inboxes[hop].put(None)
+                    return
+                address, data = item
+                try:
+                    try:
+                        unit.write(address, data, epoch)
+                    except WrittenError:
+                        # Suffix already repaired by a reader; verify.
+                        if unit.read(address, epoch) != data:
+                            raise AssertionError(
+                                f"chain divergence at {hops[hop]}:{address}: "
+                                f"replica holds different data than the "
+                                f"head winner wrote"
+                            ) from None
+                except (ReproError, AssertionError) as exc:
+                    # Chain incomplete for this address: stop forwarding
+                    # it and report; the caller re-drives the whole
+                    # chain for it (maybe_mine absorbs our partial
+                    # progress), so exactly-once survives.
+                    record(address, exc)
+                    continue
+                if hop < len(hops) - 1:
+                    inboxes[hop].put((address, data))
+                else:
+                    record(address, None)  # tail ack: durable
+
+        stages = [
+            threading.Thread(
+                target=suffix_stage, args=(hop,),
+                name=f"chain-hop-{hops[hop]}", daemon=True,
+            )
+            for hop in range(1, len(hops))
+        ]
+        for stage in stages:
+            stage.start()
+        head = self._lookup(hops[0])
+        try:
+            for address, data in writes:
+                inflight.acquire()
+                try:
+                    try:
+                        head.write(address, data, epoch)
+                    except WrittenError as exc:
+                        if not (
+                            address in maybe_mine
+                            and self._holds(head, address, data, epoch)
+                        ):
+                            # Lost the race at the head: the offset
+                            # belongs to someone else.
+                            record(address, exc)
+                            continue
+                        # Our own earlier (timed-out) delivery won the
+                        # offset; keep streaming the suffix.
+                except (ReproError, AssertionError) as exc:
+                    record(address, exc)
+                    continue
+                inboxes[0].put((address, data))
+        finally:
+            inboxes[0].put(None)
+            for stage in stages:
+                stage.join()
+        return results
+
     @staticmethod
     def _holds(unit: FlashUnit, address: int, data: bytes, epoch: int) -> bool:
         """True if *unit* already holds exactly *data* at *address*."""
@@ -98,7 +235,10 @@ class ChainReplicator:
         """Read *address* from the tail, repairing in-flight writes.
 
         Raises :class:`UnwrittenError` if the offset is a genuine hole
-        (no replica holds data), which the caller may then ``fill``.
+        (no replica holds data), which the caller may then ``fill``,
+        and :class:`TrimmedError` if the offset was reclaimed —
+        including when a trim races an in-flight write, leaving the
+        tail unwritten and the head (or a repair target) trimmed.
         """
         tail = self._lookup(rset.tail)
         try:
@@ -107,10 +247,17 @@ class ChainReplicator:
             if len(rset) == 1:
                 raise
         # Tail is unwritten. Check the head: if it holds data, the write
-        # is in flight and we complete it; otherwise this is a hole.
+        # is in flight and we complete it; otherwise this is a hole. A
+        # TrimmedError anywhere past this point means GC raced the
+        # in-flight write; surface it as the normal trimmed outcome
+        # (the offset's data was reclaimable anyway), not as a raw
+        # mid-chain error — read_many makes the same call.
         head = self._lookup(rset.head)
-        data = head.read(address, epoch)  # raises UnwrittenError on a hole
-        self._repair(rset, address, data, epoch)
+        try:
+            data = head.read(address, epoch)  # raises UnwrittenError on a hole
+            self._repair(rset, address, data, epoch)
+        except TrimmedError:
+            raise TrimmedError(address) from None
         return data
 
     def read_many(self, rset: ReplicaSet, addresses, epoch: int):
@@ -140,11 +287,20 @@ class ChainReplicator:
             if status == "ok":
                 # In-flight write: complete the chain on the writer's
                 # behalf, then the value is durable and visible.
-                self._repair(rset, addr, data, epoch)
+                try:
+                    self._repair(rset, addr, data, epoch)
+                except TrimmedError:
+                    # A trim raced the repair mid-chain; same outcome
+                    # as finding the head already trimmed.
+                    results[addr] = ("trimmed", None)
+                    continue
                 results[addr] = ("ok", data)
+            elif status == "trimmed":
+                results[addr] = ("trimmed", None)
             # "unwritten" stays a genuine hole; "trimmed" at the head
-            # with an unwritten tail means GC raced us — report the
-            # hole (a trim implies the data was reclaimable anyway).
+            # with an unwritten tail means GC raced an in-flight write —
+            # the normal trimmed outcome (the data was reclaimable
+            # anyway), never a raw mid-chain error.
         return results
 
     def is_written(self, rset: ReplicaSet, address: int, epoch: int) -> bool:

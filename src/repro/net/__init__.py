@@ -11,7 +11,9 @@ Three transports ship:
 
 - :class:`LoopbackTransport` (the default) delivers every RPC as a
   direct in-process method call — today's semantics, with per-endpoint
-  counters but no faults.
+  counters but no faults. :class:`LatencyTransport` layers a fixed
+  wall-time delay per call on top of it, so benchmarks can observe the
+  pipelined write path overlapping round trips.
 - :class:`FaultyTransport` is a seedable fault injector: latency,
   request/response drops (surfacing as :class:`~repro.errors.RpcTimeout`),
   duplicate delivery, reordering via delayed delivery, and node-pair
@@ -29,6 +31,7 @@ wall time for sockets.
 from repro.net.clock import Clock, LogicalClock, MonotonicClock
 from repro.net.transport import (
     EndpointStats,
+    LatencyTransport,
     LoopbackTransport,
     RpcProxy,
     Transport,
@@ -40,6 +43,7 @@ __all__ = [
     "Clock",
     "EndpointStats",
     "FaultyTransport",
+    "LatencyTransport",
     "LogicalClock",
     "LoopbackTransport",
     "MonotonicClock",

@@ -71,12 +71,15 @@ class EndpointStats:
     deliveries deferred past their issue order. ``batch_rpcs`` /
     ``batch_offsets`` count delivered *batched* reads (``read_many``)
     and the offsets they carried — the observable proof that the
-    batched read path is collapsing round trips.
+    batched read path is collapsing round trips. ``inflight`` /
+    ``max_inflight`` gauge calls currently being delivered and the
+    high-water mark — the observable proof that the pipelined write
+    path overlaps chain hops instead of serializing them.
     """
 
     __slots__ = (
         "rpcs", "retries", "timeouts", "duplicates", "drops", "reordered",
-        "batch_rpcs", "batch_offsets", "_lock",
+        "batch_rpcs", "batch_offsets", "inflight", "max_inflight", "_lock",
     )
 
     def __init__(self) -> None:
@@ -88,6 +91,8 @@ class EndpointStats:
         self.reordered = 0
         self.batch_rpcs = 0
         self.batch_offsets = 0
+        self.inflight = 0
+        self.max_inflight = 0
         self._lock = threading.Lock()
 
     def note_delivery(self, op: str, args: tuple) -> None:
@@ -100,6 +105,17 @@ class EndpointStats:
                     self.batch_offsets += len(args[0])
                 except TypeError:  # pragma: no cover - malformed batch arg
                     pass
+
+    def note_begin(self) -> None:
+        """A delivery started executing (pairs with :meth:`note_end`)."""
+        with self._lock:
+            self.inflight += 1
+            if self.inflight > self.max_inflight:
+                self.max_inflight = self.inflight
+
+    def note_end(self) -> None:
+        with self._lock:
+            self.inflight -= 1
 
     def note_retry(self) -> None:
         with self._lock:
@@ -133,6 +149,8 @@ class EndpointStats:
                 "reordered": self.reordered,
                 "batch_rpcs": self.batch_rpcs,
                 "batch_offsets": self.batch_offsets,
+                "inflight": self.inflight,
+                "max_inflight": self.max_inflight,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -208,8 +226,11 @@ class Transport:
     def __init__(self, clock: Optional[Clock] = None) -> None:
         self._stats: Dict[str, EndpointStats] = {}
         # Guards the endpoint map itself (entry creation vs snapshot
-        # iteration); each EndpointStats guards its own counters.
+        # iteration) and the transport-wide in-flight gauge; each
+        # EndpointStats guards its own counters.
         self._stats_lock = threading.Lock()
+        self._inflight = 0
+        self._max_inflight = 0
         self.clock: Clock = clock if clock is not None else LogicalClock()
 
     # -- delivery (subclass responsibility) ---------------------------------
@@ -244,6 +265,32 @@ class Transport:
         return RpcProxy(self, source, target, resolve)
 
     # -- observability ------------------------------------------------------
+
+    def _note_begin(self) -> None:
+        """A delivery started executing somewhere on this transport.
+
+        Unlike the per-endpoint gauge (which shows concurrency against
+        one node), the transport-wide gauge shows concurrency across
+        the whole deployment — a pipelined chain write with one
+        in-flight hop per replica reads 1 per endpoint but
+        ``len(chain)`` here.
+        """
+        with self._stats_lock:
+            self._inflight += 1
+            if self._inflight > self._max_inflight:
+                self._max_inflight = self._inflight
+
+    def _note_end(self) -> None:
+        with self._stats_lock:
+            self._inflight -= 1
+
+    def inflight_stats(self) -> Dict[str, int]:
+        """Transport-wide concurrent-delivery gauge and high-water mark."""
+        with self._stats_lock:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self._max_inflight,
+            }
 
     def stats_for(self, target: str) -> EndpointStats:
         with self._stats_lock:
@@ -281,5 +328,56 @@ class LoopbackTransport(Transport):
         args: tuple,
         kwargs: dict,
     ):
-        self.stats_for(target).note_delivery(op, args)
-        return resolve_method(resolve, target, op)(*args, **kwargs)
+        stats = self.stats_for(target)
+        stats.note_delivery(op, args)
+        stats.note_begin()
+        self._note_begin()
+        try:
+            return resolve_method(resolve, target, op)(*args, **kwargs)
+        finally:
+            self._note_end()
+            stats.note_end()
+
+
+class LatencyTransport(LoopbackTransport):
+    """Loopback delivery plus a fixed real-time delay per call.
+
+    A benchmarking aid: loopback RPCs are plain function calls, so
+    overlapping chain hops cannot be told apart from serializing them.
+    This transport makes every delivery cost *delay_s* of wall time
+    (slept on the caller's thread, never under a lock), so the
+    pipelined write path's overlap shows up as real throughput —
+    ``perf_gate.py``'s ``append_pipelined`` scenario runs on it. Uses a
+    :class:`~repro.net.clock.MonotonicClock` (the sanctioned wall-time
+    source), keeping deterministic logical time for everything else.
+    """
+
+    def __init__(self, delay_s: float = 0.0002) -> None:
+        super().__init__()
+        from repro.net.clock import MonotonicClock
+
+        self.clock = MonotonicClock()
+        self.delay_s = delay_s
+
+    def call(
+        self,
+        source: str,
+        target: str,
+        op: str,
+        resolve: Callable[[], object],
+        args: tuple,
+        kwargs: dict,
+    ):
+        # The simulated wire time is part of the delivery, so it sits
+        # inside the in-flight gauge window: two calls sleeping their
+        # delay concurrently are two overlapped deliveries.
+        stats = self.stats_for(target)
+        stats.note_delivery(op, args)
+        stats.note_begin()
+        self._note_begin()
+        try:
+            self.clock.sleep(self.delay_s)
+            return resolve_method(resolve, target, op)(*args, **kwargs)
+        finally:
+            self._note_end()
+            stats.note_end()

@@ -210,6 +210,17 @@ class StreamClient:
         """
         return self._corfu.append(payload, stream_ids)
 
+    def append_async(self, payload: bytes, stream_ids: Sequence[int]):
+        """Queue a multiappend; return its completion handle.
+
+        Passthrough to :meth:`CorfuClient.append_async`: the returned
+        :class:`~repro.corfu.client.AppendFuture` resolves to the log
+        offset once the append pipeline commits it. Callers issuing a
+        flight of appends and collecting the handles afterwards get the
+        pipelined chain-write path (overlapped hops, shared grants).
+        """
+        return self._corfu.append_async(payload, stream_ids)
+
     def append_batch(
         self, payloads: Sequence[bytes], stream_ids: Sequence[int]
     ) -> List[int]:

@@ -1,0 +1,191 @@
+"""Tests for the pipelined append path.
+
+``CorfuClient.append_async`` returns an :class:`AppendFuture`;
+whichever waiter thread becomes the pipeline leader group-commits the
+queued appends through ``append_batch`` → ``write_pipelined``. These
+tests pin the completion-handle semantics, the exactly-once guarantee
+under concurrency and network faults, and the stream-layer passthrough.
+"""
+
+import threading
+
+import pytest
+
+from repro.corfu import CorfuCluster
+from repro.errors import TooManyStreamsError, UnwrittenError
+from repro.net import FaultyTransport
+from repro.streams import StreamClient
+
+
+@pytest.fixture
+def client(cluster):
+    return cluster.client()
+
+
+class TestAppendAsync:
+    def test_result_returns_offset_and_payload_lands(self, client):
+        fut = client.append_async(b"pipelined", (1,))
+        offset = fut.result()
+        assert fut.done()
+        assert client.read(offset).payload == b"pipelined"
+
+    def test_flight_preserves_submission_order(self, client):
+        futures = [
+            client.append_async(b"entry-%d" % i, (1,)) for i in range(20)
+        ]
+        offsets = [fut.result() for fut in futures]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == 20
+        for i, offset in enumerate(offsets):
+            assert client.read(offset).payload == b"entry-%d" % i
+
+    def test_append_is_async_result(self, client):
+        """The synchronous append is re-expressed on top of the async
+        path; interleaving the two keeps the log dense and ordered."""
+        offsets = [client.append(b"sync-0", (1,))]
+        fut = client.append_async(b"async-1", (1,))
+        offsets.append(client.append(b"sync-2", (2,)))
+        offsets.append(fut.result())
+        assert sorted(offsets) == list(range(3))
+
+    def test_mixed_stream_sets_commit_in_runs(self, client):
+        futures = [
+            client.append_async(b"s%d" % i, (i % 3 + 1,)) for i in range(12)
+        ]
+        offsets = [fut.result() for fut in futures]
+        assert len(set(offsets)) == 12
+        for i, offset in enumerate(offsets):
+            entry = client.read(offset)
+            assert entry.payload == b"s%d" % i
+            assert entry.stream_ids() == (i % 3 + 1,)
+
+    def test_validation_errors_raised_at_submit(self, cluster, client):
+        with pytest.raises(ValueError):
+            client.append_async(b"x" * (cluster.entry_size + 1), (1,))
+        with pytest.raises(TooManyStreamsError):
+            client.append_async(
+                b"x", tuple(range(cluster.max_streams + 1))
+            )
+        # Nothing was enqueued: the next append gets offset 0.
+        assert client.append(b"clean", (1,)) == 0
+
+    def test_stream_layer_passthrough(self, cluster):
+        sclient = StreamClient(cluster.client())
+        sclient.open_stream(7)
+        fut = sclient.append_async(b"via-stream", (7,))
+        offset = fut.result()
+        sclient.sync(7)
+        entry = sclient.fetch(offset)
+        assert entry.payload == b"via-stream"
+
+    def test_concurrent_flights_exactly_once(self, cluster):
+        """Many threads racing append_async flights: every acknowledged
+        payload lands at exactly the offset its future reports, and the
+        log is dense (no burned offsets on the happy path)."""
+        client = cluster.client()
+        per_thread = 12
+        acked = {}
+        acked_lock = threading.Lock()
+
+        def worker(tid: int) -> None:
+            futures = [
+                client.append_async(b"t%d-%d" % (tid, i), (1,))
+                for i in range(per_thread)
+            ]
+            resolved = {fut.result(): fut.payload for fut in futures}
+            with acked_lock:
+                acked.update(resolved)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,)) for tid in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(acked) == 4 * per_thread
+        assert sorted(acked) == list(range(4 * per_thread))
+        for offset, payload in acked.items():
+            assert client.read(offset).payload == payload
+
+
+class TestAppendAsyncUnderFaults:
+    def test_exactly_once_under_drops_and_duplicates(self):
+        """Acknowledged async appends survive lost responses (the retry
+        re-drives the chain with maybe_mine) and duplicated deliveries
+        (the write-once check absorbs the replay): each acknowledged
+        payload appears in the log exactly once, at its reported offset."""
+        transport = FaultyTransport(
+            seed=7, drop_request=0.1, drop_response=0.1,
+            duplicate=0.15, reorder=0.1,
+        )
+        cluster = CorfuCluster(
+            num_sets=1, replication_factor=3, transport=transport
+        )
+        client = cluster.client()
+        acked = {}
+        for i in range(30):
+            futures = [
+                client.append_async(b"f%d-%d" % (i, j), (1,))
+                for j in range(4)
+            ]
+            for fut in futures:
+                acked[fut.result()] = fut.payload
+        transport.calm()
+        assert len(acked) == 120
+        for offset, payload in acked.items():
+            assert client.read(offset).payload == payload
+        # Exactly once: no other live offset repeats an acked payload.
+        seen = set()
+        for offset in range(client.check()):
+            try:
+                entry = client.read(offset)
+            except UnwrittenError:
+                client.fill(offset)
+                continue
+            if entry.is_junk:
+                continue
+            assert entry.payload not in seen
+            seen.add(entry.payload)
+
+    def test_concurrent_flights_under_faults(self):
+        transport = FaultyTransport(
+            seed=19, drop_response=0.08, duplicate=0.1,
+        )
+        cluster = CorfuCluster(
+            num_sets=1, replication_factor=3, transport=transport
+        )
+        client = cluster.client()
+        acked = {}
+        acked_lock = threading.Lock()
+        failures = []
+
+        def worker(tid: int) -> None:
+            try:
+                futures = [
+                    client.append_async(b"w%d-%d" % (tid, i), (1,))
+                    for i in range(8)
+                ]
+                resolved = {fut.result(): fut.payload for fut in futures}
+                with acked_lock:
+                    acked.update(resolved)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,)) for tid in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        transport.calm()
+        assert len(acked) == 24
+        payloads = set()
+        for offset, payload in acked.items():
+            entry = client.read(offset)
+            assert entry.payload == payload
+            assert payload not in payloads
+            payloads.add(payload)

@@ -5,7 +5,12 @@ import pytest
 from repro.corfu.layout import ReplicaSet
 from repro.corfu.replication import ChainReplicator
 from repro.corfu.storage import FlashUnit
-from repro.errors import NodeDownError, UnwrittenError, WrittenError
+from repro.errors import (
+    NodeDownError,
+    TrimmedError,
+    UnwrittenError,
+    WrittenError,
+)
 
 
 @pytest.fixture
@@ -54,6 +59,76 @@ class TestWrite:
             chain.write(rset, 0, b"head-value", epoch=0)
 
 
+class TestWritePipelined:
+    def test_pipelined_reaches_every_replica(self, chain, rset, units):
+        writes = [(i, f"v{i}".encode()) for i in range(10)]
+        results = chain.write_pipelined(rset, writes, epoch=0)
+        assert results == {i: None for i in range(10)}
+        for address, data in writes:
+            for unit in units.values():
+                assert unit.read(address, epoch=0) == data
+
+    def test_lost_head_race_reported_per_address(self, chain, rset):
+        chain.write(rset, 3, b"winner", epoch=0)
+        writes = [(i, b"mine") for i in range(6)]
+        results = chain.write_pipelined(rset, writes, epoch=0)
+        assert isinstance(results[3], WrittenError)
+        assert all(results[i] is None for i in range(6) if i != 3)
+        # The loser never overwrote the winner anywhere on the chain.
+        assert chain.read(rset, 3, epoch=0) == b"winner"
+
+    def test_maybe_mine_absorbs_own_earlier_delivery(self, chain, rset, units):
+        # An earlier attempt landed the head write for address 2 but the
+        # ack was lost; the retry must treat it as its own.
+        units["a"].write(2, b"mine", epoch=0)
+        writes = [(i, b"mine") for i in range(5)]
+        results = chain.write_pipelined(
+            rset, writes, epoch=0, maybe_mine=frozenset({2})
+        )
+        assert all(outcome is None for outcome in results.values())
+        assert chain.read(rset, 2, epoch=0) == b"mine"
+
+    def test_without_maybe_mine_identical_bytes_still_lose(self, chain, rset, units):
+        """Identical bytes at the head are only 'ours' when the caller
+        asserts a retry is in progress — first attempts must not adopt
+        a stranger's entry that happens to match."""
+        units["a"].write(2, b"mine", epoch=0)
+        results = chain.write_pipelined(
+            rset, [(i, b"mine") for i in range(4)], epoch=0
+        )
+        assert isinstance(results[2], WrittenError)
+
+    def test_dead_suffix_reports_every_address(self, chain, rset, units):
+        units["b"].crash()
+        results = chain.write_pipelined(
+            rset, [(i, b"v") for i in range(4)], epoch=0
+        )
+        assert all(
+            isinstance(outcome, NodeDownError) for outcome in results.values()
+        )
+
+    def test_divergent_suffix_detected(self, chain, rset, units):
+        units["b"].write(1, b"DIFFERENT", epoch=0)
+        results = chain.write_pipelined(
+            rset, [(i, b"head-value") for i in range(3)], epoch=0
+        )
+        assert isinstance(results[1], AssertionError)
+        assert results[0] is None and results[2] is None
+
+    def test_single_node_chain_falls_back(self, chain, units):
+        solo = ReplicaSet(("a",))
+        results = chain.write_pipelined(solo, [(0, b"x"), (1, b"y")], epoch=0)
+        assert results == {0: None, 1: None}
+        assert units["a"].read(0, epoch=0) == b"x"
+
+    def test_window_one_still_exactly_once(self, chain, rset, units):
+        writes = [(i, f"w{i}".encode()) for i in range(12)]
+        results = chain.write_pipelined(rset, writes, epoch=0, window=1)
+        assert all(outcome is None for outcome in results.values())
+        for address, data in writes:
+            assert chain.read(rset, address, epoch=0) == data
+
+
 class TestRead:
     def test_read_hole_raises_unwritten(self, chain, rset):
         with pytest.raises(UnwrittenError):
@@ -79,6 +154,42 @@ class TestRead:
         assert chain.read(solo, 0, epoch=0) == b"v"
         with pytest.raises(UnwrittenError):
             chain.read(solo, 1, epoch=0)
+
+
+class TestTrimRacesInflightWrite:
+    """GC reclaiming an offset while its write is still mid-chain must
+    surface as the normal trimmed outcome, not a raw mid-chain error."""
+
+    def test_read_maps_trimmed_head_to_trimmed(self, chain, rset, units):
+        # Head landed, suffix didn't, then a trim reclaimed the head.
+        units["a"].write(0, b"v", epoch=0)
+        units["a"].trim(0, epoch=0)
+        with pytest.raises(TrimmedError):
+            chain.read(rset, 0, epoch=0)
+
+    def test_read_maps_trim_during_repair_to_trimmed(self, chain, rset, units):
+        # The repair target was trimmed between the head read and the
+        # suffix copy.
+        units["a"].write(0, b"v", epoch=0)
+        units["b"].trim(0, epoch=0)
+        with pytest.raises(TrimmedError):
+            chain.read(rset, 0, epoch=0)
+
+    def test_read_many_maps_trimmed_head_to_trimmed(self, chain, rset, units):
+        chain.write(rset, 0, b"keep", epoch=0)
+        units["a"].write(1, b"v", epoch=0)
+        units["a"].trim(1, epoch=0)
+        results = chain.read_many(rset, [0, 1], epoch=0)
+        assert results[0] == ("ok", b"keep")
+        assert results[1] == ("trimmed", None)
+
+    def test_read_many_maps_trim_during_repair_to_trimmed(
+        self, chain, rset, units
+    ):
+        units["a"].write(1, b"v", epoch=0)
+        units["b"].trim(1, epoch=0)
+        results = chain.read_many(rset, [1], epoch=0)
+        assert results[1] == ("trimmed", None)
 
 
 class TestIsWritten:
